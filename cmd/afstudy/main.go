@@ -1,0 +1,59 @@
+// Command afstudy runs the amortized-free study end to end: Experiment 1
+// (token_af vs the field across threads) and Experiment 2 (AF vs ORIG for
+// ten reclaimers), optionally on a chosen allocator and data structure.
+//
+// Usage:
+//
+//	afstudy                         # both experiments, scaled defaults
+//	afstudy -threads 6,12,24,48 -at 48 -dur 400ms -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		threads = flag.String("threads", "6,12,24,48,96,144,192", "thread sweep for experiment 1")
+		at      = flag.Int("at", 192, "thread count for experiment 2")
+		dur     = flag.Duration("dur", 300*time.Millisecond, "window per trial")
+		trials  = flag.Int("trials", 1, "trials per configuration")
+		dsName  = flag.String("ds", "abtree", "data structure")
+		batch   = flag.Int("batch", 2048, "limbo-bag batch size")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		AtThreads:     *at,
+		Duration:      *dur,
+		Trials:        *trials,
+		BatchSize:     *batch,
+		DataStructure: *dsName,
+	}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "afstudy: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		opts.Threads = append(opts.Threads, n)
+	}
+
+	for _, id := range []string{"exp1", "exp2"} {
+		e, _ := bench.Get(id)
+		fmt.Printf("== %s ==\n", e.Title)
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

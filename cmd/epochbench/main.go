@@ -1,0 +1,94 @@
+// Command epochbench reproduces the tables and figures of "Are Your Epochs
+// Too Epic? Batch Free Can Be Harmful" (PPoPP '24) on the simulated
+// allocator substrate.
+//
+// Usage:
+//
+//	epochbench -list
+//	epochbench -exp table2
+//	epochbench -exp exp1 -threads 6,12,24,48 -dur 300ms -trials 3
+//	epochbench -exp fig13 -keyrange 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment ID (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		threads  = flag.String("threads", "", "comma-separated thread sweep (default: paper counts)")
+		at       = flag.Int("at", 0, "thread count for single-point experiments (default 192)")
+		dur      = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
+		trials   = flag.Int("trials", 0, "trials per configuration (default 1)")
+		keyrange = flag.Int64("keyrange", 0, "key universe size (default 32768)")
+		batch    = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
+		dsName   = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
+		all      = flag.Bool("all", false, "run every registered experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		AtThreads:     *at,
+		Duration:      *dur,
+		Trials:        *trials,
+		KeyRange:      *keyrange,
+		BatchSize:     *batch,
+		DataStructure: *dsName,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "epochbench: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+
+	run := func(id string) {
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "epochbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		t0 := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	switch {
+	case *all:
+		for _, id := range bench.ExperimentIDs() {
+			run(id)
+		}
+	case *expID != "":
+		run(*expID)
+	default:
+		fmt.Fprintln(os.Stderr, "epochbench: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Command timelineviz records a timeline for one workload configuration and
+// renders it as an ASCII timeline graph plus a garbage-per-epoch curve —
+// the paper's visualization tool (Section 3), runnable standalone.
+//
+// Usage:
+//
+//	timelineviz -reclaimer debra -threads 96 -dur 300ms
+//	timelineviz -reclaimer token_af -kinds free_call -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/timeline"
+)
+
+func main() {
+	var (
+		reclaimer = flag.String("reclaimer", "debra", "reclaimer name (see smr registry)")
+		allocator = flag.String("allocator", "jemalloc", "allocator model")
+		dsName    = flag.String("ds", "abtree", "data structure")
+		threads   = flag.Int("threads", 96, "simulated thread count")
+		dur       = flag.Duration("dur", 300*time.Millisecond, "measured window")
+		keyrange  = flag.Int64("keyrange", 1<<15, "key universe size")
+		width     = flag.Int("width", 100, "timeline width in columns")
+		rows      = flag.Int("rows", 20, "max thread rows to draw")
+		kinds     = flag.String("kinds", "batch_free", "event kinds to draw: batch_free, free_call")
+		csvPath   = flag.String("csv", "", "also write raw events as CSV to this path")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultWorkload(*threads)
+	cfg.Reclaimer = *reclaimer
+	cfg.Allocator = *allocator
+	cfg.DataStructure = *dsName
+	cfg.Duration = *dur
+	cfg.KeyRange = *keyrange
+	cfg.Record = true
+
+	tr, err := bench.RunTrial(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "timelineviz: %v\n", err)
+		os.Exit(1)
+	}
+
+	var ks []timeline.EventKind
+	switch *kinds {
+	case "batch_free":
+		ks = []timeline.EventKind{timeline.KindBatchFree}
+	case "free_call":
+		ks = []timeline.EventKind{timeline.KindFreeCall}
+	default:
+		fmt.Fprintf(os.Stderr, "timelineviz: unknown -kinds %q\n", *kinds)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s / %s / %s, %d threads: %.0f ops/s, peak %.1f MiB, %d epochs, %%free %.1f\n",
+		*dsName, *reclaimer, *allocator, *threads,
+		tr.OpsPerSec, tr.PeakMiB, tr.SMR.Epochs, tr.PctFree)
+	fmt.Print(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+		Width: *width, MaxRows: *rows, Kinds: ks,
+	}))
+	fmt.Println()
+	fmt.Print(timeline.RenderGarbageCurve(tr.Recorder, 60))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timelineviz: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.Recorder.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "timelineviz: writing CSV: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", tr.Recorder.TotalEvents(), *csvPath)
+	}
+}

@@ -1,0 +1,40 @@
+// Timelines records and renders the paper's timeline graphs (Section 3):
+// per-thread batch-free activity with epoch-change markers, side by side
+// for batch freeing and amortized freeing.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/timeline"
+)
+
+func main() {
+	const threads = 48
+	for _, rc := range []struct {
+		label, name string
+		kinds       []timeline.EventKind
+	}{
+		{"DEBRA (batch free)", "debra", []timeline.EventKind{timeline.KindBatchFree}},
+		{"DEBRA + amortized free", "debra_af", []timeline.EventKind{timeline.KindFreeCall}},
+	} {
+		cfg := bench.DefaultWorkload(threads)
+		cfg.Reclaimer = rc.name
+		cfg.Duration = 300 * time.Millisecond
+		cfg.Record = true
+		tr, err := bench.RunTrial(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s — %d threads, %.0f ops/s, %d epochs\n",
+			rc.label, threads, tr.OpsPerSec, tr.SMR.Epochs)
+		fmt.Print(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+			Width: 100, MaxRows: 16, Kinds: rc.kinds,
+		}))
+		fmt.Println()
+		fmt.Print(timeline.RenderGarbageCurve(tr.Recorder, 50))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timeline"
+)
+
+// Appendix F-G experiments: visible free calls and per-allocator DEBRA
+// timelines.
+
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Fig. 17 (App. F): visible (>= 0.1 ms) free calls, batch vs amortized free",
+		Run:   runFig17,
+	})
+	register(Experiment{
+		ID:    "appg",
+		Title: "Figs. 18-29 (App. G): DEBRA timelines for JE/TC/MI at 48/96/192/240 threads",
+		Run:   runAppG,
+	})
+}
+
+func runFig17(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	for _, rc := range []struct{ label, name string }{
+		{"Fig. 17 (upper) — batch free (debra)", "debra"},
+		{"Fig. 17 (lower) — amortized free (debra_af)", "debra_af"},
+	} {
+		cfg := o.workload(o.AtThreads)
+		cfg.Reclaimer = rc.name
+		cfg.Record = true
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		// Count visible calls and bucket their start times to expose the
+		// column alignment the appendix discusses.
+		var visible int
+		for tid := 0; tid < tr.Recorder.Threads(); tid++ {
+			for _, e := range tr.Recorder.Events(tid) {
+				if e.Kind == timeline.KindFreeCall {
+					visible++
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%s — %d visible free calls:\n%s\n", rc.label, visible,
+			timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+				Width: 100, MaxRows: 20,
+				Kinds: []timeline.EventKind{timeline.KindFreeCall},
+			}))
+	}
+	return sb.String(), nil
+}
+
+func runAppG(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	fig := 18
+	for _, alloc := range []string{"jemalloc", "tcmalloc", "mimalloc"} {
+		for _, n := range []int{48, 96, 192, 240} {
+			cfg := o.workload(n)
+			cfg.Allocator = alloc
+			cfg.Reclaimer = "debra"
+			cfg.Record = true
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "Fig. %d — %s, DEBRA, %d threads (ops/s %s, peak %.1f MiB):\n",
+				fig, alloc, n, fmtOps(tr.OpsPerSec), tr.PeakMiB)
+			sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+				Width: 100, MaxRows: 12,
+				Kinds: []timeline.EventKind{timeline.KindBatchFree},
+			}))
+			sb.WriteString(timeline.RenderGarbageCurve(tr.Recorder, 50))
+			sb.WriteByte('\n')
+			fig++
+		}
+	}
+	return sb.String(), nil
+}

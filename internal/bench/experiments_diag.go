@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timeline"
+)
+
+// Section 3 experiments: diagnosing the remote-batch-free problem.
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Fig. 1: ABtree vs OCCtree throughput and peak memory, DEBRA vs leaky, JEmalloc",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Fig. 2: timeline graphs of batch frees as epochs change (DEBRA, 96 vs 192 threads)",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: JEmalloc free overhead vs thread count (DEBRA)",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: individual free-call timelines, batch free vs amortized free (192 threads)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: amortized free vs batch free on JEmalloc (192 threads)",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: garbage per epoch, batch free vs amortized free",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: batch vs amortized free on TCmalloc and MImalloc (192 threads)",
+		Run:   runTable3,
+	})
+}
+
+func runFig1(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	for _, panel := range []struct {
+		label     string
+		reclaimer string
+	}{
+		{"Fig. 1a/1b — DEBRA", "debra"},
+		{"Fig. 1c/1d — leaky (none)", "none"},
+	} {
+		tb := newTable("threads", "abtree ops/s", "abtree peak MiB", "occtree ops/s", "occtree peak MiB")
+		for _, n := range o.Threads {
+			row := make([]string, 0, 5)
+			row = append(row, fmt.Sprintf("%d", n))
+			for _, dsName := range []string{"abtree", "occtree"} {
+				cfg := o.workload(n)
+				cfg.DataStructure = dsName
+				cfg.Reclaimer = panel.reclaimer
+				s, err := RunTrials(cfg, o.Trials)
+				if err != nil {
+					return "", err
+				}
+				row = append(row, fmtOps(s.MeanOps), fmt.Sprintf("%.1f", s.MeanPeakMiB))
+			}
+			tb.add(row...)
+		}
+		fmt.Fprintf(&sb, "%s\n%s\n", panel.label, tb)
+	}
+	return sb.String(), nil
+}
+
+func runFig2(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	for _, n := range []int{96, 192} {
+		cfg := o.workload(n)
+		cfg.Reclaimer = "debra"
+		cfg.Record = true
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "Fig. 2 — DEBRA batch frees, %d threads (ops/s %s):\n", n, fmtOps(tr.OpsPerSec))
+		sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+			Width: 100, MaxRows: 20, Kinds: []timeline.EventKind{timeline.KindBatchFree},
+		}))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+func runTable1(o Options) (string, error) {
+	o.fill()
+	tb := newTable("threads", "ops/s", "epochs", "% free", "% flush", "% lock")
+	for _, n := range []int{48, 96, 192} {
+		cfg := o.workload(n)
+		cfg.Reclaimer = "debra"
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		tb.addf("%d\t%s\t%d\t%.1f\t%.1f\t%.1f",
+			n, fmtOps(tr.OpsPerSec), tr.SMR.Epochs, tr.PctFree, tr.PctFlush, tr.PctLock)
+	}
+	return "Table 1 — JEmalloc free overhead (DEBRA, ABtree):\n" + tb.String(), nil
+}
+
+func runFig3(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	for _, rc := range []struct{ label, name string }{
+		{"Fig. 3a — batch free (debra)", "debra"},
+		{"Fig. 3b — amortized free (debra_af)", "debra_af"},
+	} {
+		cfg := o.workload(o.AtThreads)
+		cfg.Reclaimer = rc.name
+		cfg.Record = true
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		long := 0
+		for tid := 0; tid < tr.Recorder.Threads(); tid++ {
+			for _, e := range tr.Recorder.Events(tid) {
+				if e.Kind == timeline.KindFreeCall {
+					long++
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%s — %d free calls >= %v (ops/s %s):\n",
+			rc.label, long, tr.Recorder.FreeCallThreshold, fmtOps(tr.OpsPerSec))
+		sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+			Width: 100, MaxRows: 20, Kinds: []timeline.EventKind{timeline.KindFreeCall},
+		}))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// amortVsBatchRow runs one (allocator, reclaimer) cell for Tables 2 and 3.
+func amortVsBatchRow(o Options, allocator, reclaimer string) (TrialResult, error) {
+	cfg := o.workload(o.AtThreads)
+	cfg.Allocator = allocator
+	cfg.Reclaimer = reclaimer
+	return RunTrial(cfg)
+}
+
+func runTable2(o Options) (string, error) {
+	o.fill()
+	tb := newTable("approach", "ops/s", "freed", "% free", "% flush", "% lock")
+	var batch, amort TrialResult
+	var err error
+	if batch, err = amortVsBatchRow(o, "jemalloc", "debra"); err != nil {
+		return "", err
+	}
+	if amort, err = amortVsBatchRow(o, "jemalloc", "debra_af"); err != nil {
+		return "", err
+	}
+	for _, r := range []struct {
+		name string
+		tr   TrialResult
+	}{{"JE batch", batch}, {"JE amort.", amort}} {
+		tb.addf("%s\t%s\t%s\t%.1f\t%.1f\t%.1f",
+			r.name, fmtOps(r.tr.OpsPerSec), fmtCount(r.tr.SMR.Freed),
+			r.tr.PctFree, r.tr.PctFlush, r.tr.PctLock)
+	}
+	return fmt.Sprintf("Table 2 — amortized vs batch free, %d threads (amort/batch speedup %s):\n%s",
+		o.AtThreads, ratio(amort.OpsPerSec, batch.OpsPerSec), tb), nil
+}
+
+func runFig4(o Options) (string, error) {
+	o.fill()
+	var sb strings.Builder
+	for _, rc := range []struct{ label, name string }{
+		{"Fig. 4 (upper) — batch free (debra)", "debra"},
+		{"Fig. 4 (lower) — amortized free (debra_af)", "debra_af"},
+	} {
+		cfg := o.workload(o.AtThreads)
+		cfg.Reclaimer = rc.name
+		cfg.Record = true
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%s:\n%s\n", rc.label, timeline.RenderGarbageCurve(tr.Recorder, 60))
+	}
+	return sb.String(), nil
+}
+
+func runTable3(o Options) (string, error) {
+	o.fill()
+	tb := newTable("approach", "ops/s", "freed", "% free")
+	type cell struct{ label, alloc, rec string }
+	cells := []cell{
+		{"TC batch", "tcmalloc", "debra"},
+		{"TC amort.", "tcmalloc", "debra_af"},
+		{"MI batch", "mimalloc", "debra"},
+		{"MI amort.", "mimalloc", "debra_af"},
+	}
+	results := map[string]TrialResult{}
+	for _, c := range cells {
+		tr, err := amortVsBatchRow(o, c.alloc, c.rec)
+		if err != nil {
+			return "", err
+		}
+		results[c.label] = tr
+		tb.addf("%s\t%s\t%s\t%.1f", c.label, fmtOps(tr.OpsPerSec), fmtCount(tr.SMR.Freed), tr.PctFree)
+	}
+	return fmt.Sprintf(
+		"Table 3 — additional allocators, %d threads (TC amort/batch %s, MI amort/batch %s):\n%s",
+		o.AtThreads,
+		ratio(results["TC amort."].OpsPerSec, results["TC batch"].OpsPerSec),
+		ratio(results["MI amort."].OpsPerSec, results["MI batch"].OpsPerSec),
+		tb), nil
+}

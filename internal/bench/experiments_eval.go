@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simalloc"
+	"repro/internal/smr"
+)
+
+// Section 5 and appendix C-E experiments: the full evaluation.
+
+func init() {
+	register(Experiment{
+		ID:    "exp1",
+		Title: "Fig. 11a (Experiment 1): token_af vs the state of the art across threads",
+		Run:   runExp1,
+	})
+	register(Experiment{
+		ID:    "exp2",
+		Title: "Fig. 11b (Experiment 2): AF vs ORIG for ten reclaimers at 192 threads",
+		Run:   runExp2,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12 (App. C): ORIG vs AF across threads, per reclaimer, ABtree",
+		Run:   origVsAFSweep("Fig. 12 — ABtree", "abtree"),
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13 (App. D): ORIG vs AF across threads, per reclaimer, DGT tree",
+		Run:   origVsAFSweep("Fig. 13 — DGT tree", "dgtree"),
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14 (App. D): token_af vs other reclaimers, DGT tree",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15 (App. E): Intel 4-socket 144-core machine model",
+		Run:   machineExperiment("Fig. 15 — intel144", simalloc.Intel144()),
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Fig. 16 (App. E): AMD 2-socket 256-core machine model",
+		Run:   machineExperiment("Fig. 16 — amd256", simalloc.AMD256()),
+	})
+}
+
+func runExp1(o Options) (string, error) {
+	o.fill()
+	names := smr.Experiment1Names()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Experiment 1 (Fig. 11a) — %s, 50%% ins / 50%% del, JEmalloc:\n", o.DataStructure)
+	header := append([]string{"threads"}, names...)
+	tb := newTable(header...)
+	// Track per-reclaimer mean across thread counts for the paper's
+	// "averaged across all thread counts" comparisons.
+	sums := map[string]float64{}
+	for _, n := range o.Threads {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, name := range names {
+			cfg := o.workload(n)
+			cfg.Reclaimer = name
+			s, err := RunTrials(cfg, o.Trials)
+			if err != nil {
+				return "", err
+			}
+			sums[name] += s.MeanOps
+			row = append(row, fmtOps(s.MeanOps))
+		}
+		tb.add(row...)
+	}
+	sb.WriteString(tb.String())
+	k := float64(len(o.Threads))
+	if sums["nbrplus"] > 0 {
+		fmt.Fprintf(&sb, "\ntoken_af / nbr+ (mean over thread counts): %s\n",
+			ratio(sums["token_af"]/k, sums["nbrplus"]/k))
+	}
+	if sums["none"] > 0 {
+		fmt.Fprintf(&sb, "token_af / none: %s\n", ratio(sums["token_af"]/k, sums["none"]/k))
+	}
+	if sums["hp"] > 0 {
+		fmt.Fprintf(&sb, "token_af / hp: %s\n", ratio(sums["token_af"]/k, sums["hp"]/k))
+	}
+	return sb.String(), nil
+}
+
+func runExp2(o Options) (string, error) {
+	o.fill()
+	tb := newTable("reclaimer", "ORIG ops/s", "AF ops/s", "AF/ORIG")
+	improved, big := 0, 0
+	for _, pair := range smr.Experiment2Pairs() {
+		var res [2]TrialResult
+		for i, name := range pair {
+			cfg := o.workload(o.AtThreads)
+			cfg.Reclaimer = name
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				return "", err
+			}
+			res[i] = tr
+		}
+		if res[1].OpsPerSec > res[0].OpsPerSec {
+			improved++
+		}
+		if res[1].OpsPerSec > 1.5*res[0].OpsPerSec {
+			big++
+		}
+		tb.addf("%s\t%s\t%s\t%s", pair[0],
+			fmtOps(res[0].OpsPerSec), fmtOps(res[1].OpsPerSec),
+			ratio(res[1].OpsPerSec, res[0].OpsPerSec))
+	}
+	return fmt.Sprintf(
+		"Experiment 2 (Fig. 11b) — AF vs ORIG, %d threads, batch %d:\n%s\n%d/10 improved, %d/10 by >50%%\n",
+		o.AtThreads, o.BatchSize, tb, improved, big), nil
+}
+
+// origVsAFSweep renders the appendix C/D panels: for each reclaimer pair,
+// ORIG vs AF throughput across the thread sweep.
+func origVsAFSweep(title, dsName string) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		o.fill()
+		o.DataStructure = dsName
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s — ORIG vs AF across threads:\n", title)
+		for _, pair := range smr.Experiment2Pairs() {
+			tb := newTable("threads", pair[0], pair[1], "AF/ORIG")
+			for _, n := range o.Threads {
+				var ops [2]float64
+				for i, name := range pair {
+					cfg := o.workload(n)
+					cfg.Reclaimer = name
+					s, err := RunTrials(cfg, o.Trials)
+					if err != nil {
+						return "", err
+					}
+					ops[i] = s.MeanOps
+				}
+				tb.addf("%d\t%s\t%s\t%s", n, fmtOps(ops[0]), fmtOps(ops[1]), ratio(ops[1], ops[0]))
+			}
+			fmt.Fprintf(&sb, "(%s)\n%s\n", pair[0], tb)
+		}
+		return sb.String(), nil
+	}
+}
+
+func runFig14(o Options) (string, error) {
+	o.fill()
+	o.DataStructure = "dgtree"
+	return runExp1(o)
+}
+
+// machineExperiment reruns Experiment 1's headline rows plus Experiment 2
+// under a different machine cost model (appendix E).
+func machineExperiment(title string, cost simalloc.CostModel) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		o.fill()
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s (threads/socket %d, sockets %d):\n",
+			title, cost.ThreadsPerSocket, cost.Sockets)
+		names := []string{"token_af", "debra_af", "nbrplus", "debra", "none", "hp"}
+		header := append([]string{"threads"}, names...)
+		tb := newTable(header...)
+		for _, n := range o.Threads {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, name := range names {
+				cfg := o.workload(n)
+				cfg.Reclaimer = name
+				cfg.Cost = cost
+				s, err := RunTrials(cfg, o.Trials)
+				if err != nil {
+					return "", err
+				}
+				row = append(row, fmtOps(s.MeanOps))
+			}
+			tb.add(row...)
+		}
+		sb.WriteString(tb.String())
+
+		// The appendix also repeats the AF-vs-ORIG comparison at full load.
+		tb2 := newTable("reclaimer", "ORIG", "AF", "AF/ORIG")
+		for _, pair := range smr.Experiment2Pairs() {
+			var ops [2]float64
+			for i, name := range pair {
+				cfg := o.workload(o.AtThreads)
+				cfg.Reclaimer = name
+				cfg.Cost = cost
+				tr, err := RunTrial(cfg)
+				if err != nil {
+					return "", err
+				}
+				ops[i] = tr.OpsPerSec
+			}
+			tb2.addf("%s\t%s\t%s\t%s", pair[0], fmtOps(ops[0]), fmtOps(ops[1]), ratio(ops[1], ops[0]))
+		}
+		fmt.Fprintf(&sb, "\nAF vs ORIG at %d threads:\n%s", o.AtThreads, tb2)
+		return sb.String(), nil
+	}
+}

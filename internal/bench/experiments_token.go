@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timeline"
+)
+
+// Section 4 experiments: the Token-EBR design sequence.
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: Naive Token-EBR throughput and peak memory across threads",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: Naive Token-EBR batch-free timeline and garbage pile-up (192 threads)",
+		Run:   tokenTimeline("fig6", "token_naive"),
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: Pass-first Token-EBR timeline and garbage (192 threads)",
+		Run:   tokenTimeline("fig7", "token_pass"),
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: Periodic Token-EBR timeline and garbage (192 threads)",
+		Run:   tokenTimeline("fig8", "token_periodic"),
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: Amortized-free Token-EBR timeline and garbage (192 threads)",
+		Run:   tokenTimeline("fig9", "token_af"),
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Fig. 10: Amortized-free Token-EBR throughput and peak memory across threads",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: analysis of Token-EBR variants (192 threads)",
+		Run:   runTable4,
+	})
+}
+
+// tokenSweep renders throughput + peak memory across the thread sweep for a
+// set of reclaimers (Figs. 5 and 10 both compare against DEBRA and none).
+func tokenSweep(o Options, title string, reclaimers []string) (string, error) {
+	header := []string{"threads"}
+	for _, r := range reclaimers {
+		header = append(header, r+" ops/s", r+" MiB")
+	}
+	tb := newTable(header...)
+	for _, n := range o.Threads {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, r := range reclaimers {
+			cfg := o.workload(n)
+			cfg.Reclaimer = r
+			s, err := RunTrials(cfg, o.Trials)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, fmtOps(s.MeanOps), fmt.Sprintf("%.1f", s.MeanPeakMiB))
+		}
+		tb.add(row...)
+	}
+	return title + "\n" + tb.String(), nil
+}
+
+func runFig5(o Options) (string, error) {
+	o.fill()
+	return tokenSweep(o, "Fig. 5 — Naive Token-EBR vs DEBRA vs leaky (ABtree, JEmalloc):",
+		[]string{"token_naive", "debra", "none"})
+}
+
+func runFig10(o Options) (string, error) {
+	o.fill()
+	return tokenSweep(o, "Fig. 10 — Token-EBR variants (ABtree, JEmalloc):",
+		[]string{"token_naive", "token_pass", "token_periodic", "token_af"})
+}
+
+// tokenTimeline produces the combined batch-free timeline + garbage curve
+// panels of Figs. 6-9.
+func tokenTimeline(figID, reclaimer string) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		o.fill()
+		cfg := o.workload(o.AtThreads)
+		cfg.Reclaimer = reclaimer
+		cfg.Record = true
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		kinds := []timeline.EventKind{timeline.KindBatchFree}
+		if reclaimer == "token_af" {
+			// Fig. 9 shows individual free calls >= 0.1 ms for the AF
+			// variant (there are no batch frees to show).
+			kinds = []timeline.EventKind{timeline.KindFreeCall}
+		}
+		fmt.Fprintf(&sb, "%s — %s, %d threads: ops/s %s, peak %.1f MiB, epochs %d\n",
+			strings.ToUpper(figID[:1])+figID[1:], reclaimer, o.AtThreads,
+			fmtOps(tr.OpsPerSec), tr.PeakMiB, tr.SMR.Epochs)
+		sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
+			Width: 100, MaxRows: 20, Kinds: kinds,
+		}))
+		sb.WriteString("\n")
+		sb.WriteString(timeline.RenderGarbageCurve(tr.Recorder, 60))
+		return sb.String(), nil
+	}
+}
+
+func runTable4(o Options) (string, error) {
+	o.fill()
+	tb := newTable("algorithm", "ops/s", "% free", "freed", "epochs", "peak MiB")
+	for _, v := range []struct{ label, name string }{
+		{"Naive", "token_naive"},
+		{"Pass-first", "token_pass"},
+		{"Periodic", "token_periodic"},
+		{"Amortized", "token_af"},
+	} {
+		cfg := o.workload(o.AtThreads)
+		cfg.Reclaimer = v.name
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return "", err
+		}
+		tb.addf("%s\t%s\t%.1f\t%s\t%d\t%.1f",
+			v.label, fmtOps(tr.OpsPerSec), tr.PctFree, fmtCount(tr.SMR.Freed),
+			tr.SMR.Epochs, tr.PeakMiB)
+	}
+	return fmt.Sprintf("Table 4 — Token-EBR variants, %d threads:\n%s", o.AtThreads, tb), nil
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Options tunes how an experiment is scaled. The defaults follow the
+// paper's parameters with the durations shortened for simulator use.
+type Options struct {
+	// Threads is the sweep for thread-scaling experiments (the paper's
+	// {6,12,24,36,48,96,144,192}).
+	Threads []int
+	// AtThreads is the thread count for single-point experiments
+	// (the paper's 192).
+	AtThreads int
+	// Duration is the measured window per trial.
+	Duration time.Duration
+	// Trials per configuration (the paper uses 3).
+	Trials int
+	// KeyRange is the key universe (steady-state size = KeyRange/2).
+	KeyRange int64
+	// BatchSize is the limbo-bag threshold (Experiment 2 fixes 32768 in
+	// the paper; scaled default 2048).
+	BatchSize int
+	// DataStructure overrides the default ABtree (fig13/14 use "dgtree").
+	DataStructure string
+}
+
+// DefaultOptions returns the scaled paper methodology.
+func DefaultOptions() Options {
+	return Options{
+		Threads:       []int{6, 12, 24, 36, 48, 96, 144, 192},
+		AtThreads:     192,
+		Duration:      300 * time.Millisecond,
+		Trials:        1,
+		KeyRange:      1 << 15,
+		BatchSize:     2048,
+		DataStructure: "abtree",
+	}
+}
+
+func (o *Options) fill() {
+	d := DefaultOptions()
+	if len(o.Threads) == 0 {
+		o.Threads = d.Threads
+	}
+	if o.AtThreads <= 0 {
+		o.AtThreads = d.AtThreads
+	}
+	if o.Duration <= 0 {
+		o.Duration = d.Duration
+	}
+	if o.Trials <= 0 {
+		o.Trials = d.Trials
+	}
+	if o.KeyRange < 2 {
+		o.KeyRange = d.KeyRange
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = d.BatchSize
+	}
+	if o.DataStructure == "" {
+		o.DataStructure = d.DataStructure
+	}
+}
+
+// workload builds the base WorkloadConfig for an options set.
+func (o *Options) workload(threads int) WorkloadConfig {
+	cfg := DefaultWorkload(threads)
+	cfg.Duration = o.Duration
+	cfg.KeyRange = o.KeyRange
+	cfg.BatchSize = o.BatchSize
+	cfg.DataStructure = o.DataStructure
+	return cfg
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key ("fig1", "table2", "exp1", ...).
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Run executes the experiment and returns its textual report.
+	Run func(Options) (string, error)
+}
+
+// registry is populated by the experiments_*.go files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get looks up an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// ExperimentIDs lists the registered experiments in sorted order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// table accumulates rows and renders them with aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) String() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.header, "\t"))
+	fmt.Fprintln(w, strings.Repeat("-", 8))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// fmtOps renders an ops/sec figure the way the paper does (e.g. "43.4M").
+func fmtOps(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtCount renders an object count ("114M", "32K").
+func fmtCount(v int64) string { return fmtOps(float64(v)) }
+
+// ratio formats a speedup factor.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

@@ -1,0 +1,348 @@
+// Package bench is the experiment harness: it reproduces every table and
+// figure of "Are Your Epochs Too Epic?" over the simulated allocators
+// (package simalloc), the reclaimers (package smr) and the concurrent sets
+// (package ds), using the paper's methodology — prefill to the steady-state
+// size, then run a 50% insert / 50% delete workload over a uniform key
+// range for a fixed duration and report throughput, peak memory, and
+// allocator overhead percentages.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/simalloc"
+	"repro/internal/smr"
+	"repro/internal/timeline"
+)
+
+// WorkloadConfig describes one trial.
+type WorkloadConfig struct {
+	// DataStructure is "abtree", "occtree" or "dgtree".
+	DataStructure string
+	// Reclaimer is any name from smr.Names().
+	Reclaimer string
+	// Allocator is "jemalloc", "tcmalloc" or "mimalloc".
+	Allocator string
+	// Threads is the number of simulated threads (goroutines).
+	Threads int
+	// KeyRange is the size of the uniform key universe; the steady-state
+	// set size is KeyRange/2. The paper uses 2×10⁷; the scaled default is
+	// 1<<15.
+	KeyRange int64
+	// Duration is the measured window. The paper uses 5 s; the scaled
+	// default is 150 ms.
+	Duration time.Duration
+	// BatchSize, DrainRate, TokenCheckK, EraFreq feed smr.Config.
+	BatchSize, DrainRate, TokenCheckK, EraFreq int
+	// Cost is the simulated machine; zero value means Intel192.
+	Cost simalloc.CostModel
+	// TCacheCap and FlushFraction override the allocator defaults when
+	// non-zero (used by ablations).
+	TCacheCap     int
+	FlushFraction float64
+	// ArenasPerThread overrides jemalloc's arena multiplier when non-zero.
+	ArenasPerThread int
+	// PoolCapacity, when non-zero, wraps the allocator in smr.PoolAllocator
+	// with per-thread per-class pools of this capacity — the object-pooling
+	// ablation of DESIGN.md §5.7 (the optimization the paper declines).
+	PoolCapacity int
+	// Record enables timeline recording with RecorderCap events/thread.
+	Record      bool
+	RecorderCap int
+	// Seed varies the per-thread RNG streams.
+	Seed uint64
+	// YieldEvery inserts a scheduler yield every YieldEvery operations.
+	// Simulated threads are goroutines; without explicit yields a goroutine
+	// runs a whole scheduler quantum (~10 ms, thousands of operations)
+	// alone, which serializes the workload into per-thread bursts and
+	// destroys the cross-thread object flow (a thread would mostly retire
+	// nodes it allocated itself). Yielding every operation interleaves the
+	// threads the way hardware parallelism would. <0 disables.
+	YieldEvery int
+}
+
+// DefaultWorkload returns the scaled-down version of the paper's
+// methodology for the given thread count.
+func DefaultWorkload(threads int) WorkloadConfig {
+	return WorkloadConfig{
+		DataStructure: "abtree",
+		Reclaimer:     "debra",
+		Allocator:     "jemalloc",
+		Threads:       threads,
+		KeyRange:      1 << 15,
+		Duration:      300 * time.Millisecond,
+		BatchSize:     2048,
+		DrainRate:     1,
+		TokenCheckK:   100,
+		Cost:          simalloc.Intel192(),
+		RecorderCap:   100000,
+		Seed:          1,
+		YieldEvery:    1,
+	}
+}
+
+// TrialResult captures one trial's measurements, taken at the moment the
+// measured window closed (before the final drain), matching the paper's
+// during-trial accounting.
+type TrialResult struct {
+	// Ops and OpsPerSec are completed set operations in the window.
+	Ops       int64
+	OpsPerSec float64
+	// PeakBytes is the allocator's mapped high-water mark; PeakMiB is the
+	// same in MiB (the unit of Fig. 1b/1d).
+	PeakBytes int64
+	PeakMiB   float64
+	// Alloc and SMR are the substrate snapshots.
+	Alloc simalloc.Stats
+	SMR   smr.Stats
+	// PctFree, PctFlush, PctLock are the paper's perf percentages: share
+	// of total thread-time spent in free, in cache flushes, and blocked on
+	// allocator locks.
+	PctFree, PctFlush, PctLock float64
+	// Wall is the actual measured-window duration.
+	Wall time.Duration
+	// Recorder holds timeline events when recording was enabled.
+	Recorder *timeline.Recorder
+}
+
+// rng is a per-thread xorshift generator; math/rand's global lock would
+// serialize 192 worker goroutines.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn uses the generator's high bits, which mix much faster than the low
+// bits across xorshift steps.
+func (r *rng) intn(n int64) int64 { return int64((r.next() >> 17) % uint64(n)) }
+
+// buildStack constructs the allocator, reclaimer and set for cfg.
+func buildStack(cfg *WorkloadConfig, stopped *atomic.Bool) (simalloc.Allocator, smr.Reclaimer, ds.Set, *timeline.Recorder, error) {
+	acfg := simalloc.DefaultConfig(cfg.Threads)
+	if cfg.Cost.ThreadsPerSocket != 0 {
+		acfg.Cost = cfg.Cost
+	}
+	if cfg.TCacheCap > 0 {
+		acfg.TCacheCap = cfg.TCacheCap
+	}
+	if cfg.FlushFraction > 0 {
+		acfg.FlushFraction = cfg.FlushFraction
+	}
+	if cfg.ArenasPerThread > 0 {
+		acfg.ArenasPerThread = cfg.ArenasPerThread
+	}
+	alloc, err := simalloc.New(cfg.Allocator, acfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if cfg.PoolCapacity > 0 {
+		alloc = smr.NewPoolAllocator(alloc, cfg.PoolCapacity)
+	}
+
+	var rec *timeline.Recorder
+	if cfg.Record {
+		capEach := cfg.RecorderCap
+		if capEach <= 0 {
+			capEach = 100000
+		}
+		rec = timeline.NewRecorder(cfg.Threads, capEach)
+	}
+
+	rcfg := smr.DefaultConfig(alloc, cfg.Threads)
+	if cfg.BatchSize > 0 {
+		rcfg.BatchSize = cfg.BatchSize
+	}
+	if cfg.DrainRate > 0 {
+		rcfg.DrainRate = cfg.DrainRate
+	}
+	if cfg.TokenCheckK > 0 {
+		rcfg.TokenCheckK = cfg.TokenCheckK
+	}
+	if cfg.EraFreq > 0 {
+		rcfg.EraFreq = cfg.EraFreq
+	}
+	rcfg.Recorder = rec
+	rcfg.Stopped = stopped.Load
+	reclaimer, err := smr.New(cfg.Reclaimer, rcfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	set, err := ds.New(cfg.DataStructure, alloc, reclaimer)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return alloc, reclaimer, set, rec, nil
+}
+
+// prefill inserts random keys in parallel until the set holds half the key
+// range, the paper's steady-state size.
+func prefill(cfg *WorkloadConfig, set ds.Set) {
+	target := cfg.KeyRange / 2
+	var wg sync.WaitGroup
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := newRNG(cfg.Seed + uint64(tid)*0x517cc1b727220a95 + 11)
+			for set.Size() < target {
+				for i := 0; i < 64; i++ {
+					set.Insert(tid, r.intn(cfg.KeyRange))
+				}
+				runtime.Gosched()
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// RunTrial executes one trial of the paper's microbenchmark: prefill, run
+// 50% inserts / 50% deletes on uniform random keys for Duration, snapshot.
+func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
+	if cfg.Threads <= 0 {
+		return TrialResult{}, fmt.Errorf("bench: Threads must be positive")
+	}
+	if cfg.KeyRange < 2 {
+		return TrialResult{}, fmt.Errorf("bench: KeyRange must be >= 2")
+	}
+	var stopped atomic.Bool
+	alloc, reclaimer, set, rec, err := buildStack(&cfg, &stopped)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	prefill(&cfg, set)
+
+	ops := make([]struct {
+		v int64
+		_ [7]int64
+	}, cfg.Threads)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			// Key and coin come from independent streams: deriving both
+			// from one xorshift stream makes the coin a deterministic
+			// function of the key (the low output bits are a linear
+			// function of the previous state's low bits), which freezes
+			// the set at exactly half the key range with zero successful
+			// operations.
+			keyRNG := newRNG(cfg.Seed + uint64(tid)*0xa0761d6478bd642f + 7)
+			coinRNG := newRNG(cfg.Seed + uint64(tid)*0x8ebc6af09c88c6e3 + 5)
+			yieldEvery := cfg.YieldEvery
+			if yieldEvery == 0 {
+				yieldEvery = 1
+			}
+			local := int64(0)
+			for !stopped.Load() {
+				// Check the stop flag every few ops to keep the window tight
+				// without a per-op atomic in the hot loop.
+				for i := 0; i < 8; i++ {
+					key := keyRNG.intn(cfg.KeyRange)
+					if coinRNG.next()&(1<<30) == 0 {
+						set.Insert(tid, key)
+					} else {
+						set.Delete(tid, key)
+					}
+					local++
+					if yieldEvery > 0 && local%int64(yieldEvery) == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			atomic.StoreInt64(&ops[tid].v, local)
+		}(tid)
+	}
+	time.Sleep(cfg.Duration)
+	stopped.Store(true)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var res TrialResult
+	for i := range ops {
+		res.Ops += atomic.LoadInt64(&ops[i].v)
+	}
+	res.Wall = wall
+	res.OpsPerSec = float64(res.Ops) / wall.Seconds()
+	res.Alloc = alloc.Stats()
+	res.SMR = reclaimer.Stats()
+	res.PeakBytes = alloc.PeakBytes()
+	res.PeakMiB = float64(res.PeakBytes) / (1 << 20)
+	res.PctFree = simalloc.PctOf(res.Alloc.FreeNanos, wall, cfg.Threads)
+	res.PctFlush = simalloc.PctOf(res.Alloc.FlushNanos, wall, cfg.Threads)
+	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, cfg.Threads)
+	res.Recorder = rec
+
+	// Hygiene: release remaining limbo so the allocator's lifecycle checks
+	// stay clean. Measurements above were taken first, as in the paper.
+	for tid := 0; tid < cfg.Threads; tid++ {
+		reclaimer.Drain(tid)
+	}
+	return res, nil
+}
+
+// Summary aggregates repeated trials of the same configuration.
+type Summary struct {
+	Cfg             WorkloadConfig
+	Trials          []TrialResult
+	MeanOps         float64 // ops/sec averaged over trials
+	MinOps, MaxOps  float64
+	MeanPeakMiB     float64
+	MinPeak, MaxMiB float64
+}
+
+// RunTrials runs n trials and aggregates them (the paper reports the mean
+// with min/max error bars over three trials).
+func RunTrials(cfg WorkloadConfig, n int) (Summary, error) {
+	if n <= 0 {
+		n = 1
+	}
+	s := Summary{Cfg: cfg}
+	for i := 0; i < n; i++ {
+		cfg.Seed = cfg.Seed*31 + uint64(i) + 1
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return Summary{}, err
+		}
+		s.Trials = append(s.Trials, tr)
+	}
+	s.MinOps, s.MaxOps = s.Trials[0].OpsPerSec, s.Trials[0].OpsPerSec
+	s.MinPeak, s.MaxMiB = s.Trials[0].PeakMiB, s.Trials[0].PeakMiB
+	for _, tr := range s.Trials {
+		s.MeanOps += tr.OpsPerSec
+		s.MeanPeakMiB += tr.PeakMiB
+		if tr.OpsPerSec < s.MinOps {
+			s.MinOps = tr.OpsPerSec
+		}
+		if tr.OpsPerSec > s.MaxOps {
+			s.MaxOps = tr.OpsPerSec
+		}
+		if tr.PeakMiB < s.MinPeak {
+			s.MinPeak = tr.PeakMiB
+		}
+		if tr.PeakMiB > s.MaxMiB {
+			s.MaxMiB = tr.PeakMiB
+		}
+	}
+	s.MeanOps /= float64(len(s.Trials))
+	s.MeanPeakMiB /= float64(len(s.Trials))
+	return s, nil
+}

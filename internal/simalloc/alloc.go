@@ -1,0 +1,99 @@
+package simalloc
+
+import "fmt"
+
+// Allocator is the interface shared by the three allocator models. A tid is
+// the caller's simulated thread ID in [0, Threads); every tid must be used
+// by at most one goroutine at a time, mirroring thread-local caches.
+type Allocator interface {
+	// Name identifies the model ("jemalloc", "tcmalloc", "mimalloc").
+	Name() string
+	// Threads is the number of simulated threads the allocator serves.
+	Threads() int
+	// Alloc returns an object of at least size bytes, charged to tid.
+	Alloc(tid int, size int) *Object
+	// Free returns o to the allocator on behalf of tid. o must be in the
+	// allocated state; a double free panics.
+	Free(tid int, o *Object)
+	// FlushThreadCaches returns every cached object to the shared pools,
+	// as if all threads exited. Used between benchmark trials.
+	FlushThreadCaches()
+	// Stats returns an aggregated snapshot of allocator activity.
+	Stats() Stats
+	// LiveBytes returns bytes currently in the allocated state.
+	LiveBytes() int64
+	// PeakBytes returns the high-water mark of mapped bytes — the
+	// simulated analogue of the paper's "peak memory usage (MiB)".
+	PeakBytes() int64
+}
+
+// Config carries the knobs shared by the allocator models. The zero value is
+// not usable; call DefaultConfig.
+type Config struct {
+	// Threads is the number of simulated threads.
+	Threads int
+	// Cost is the machine model.
+	Cost CostModel
+	// TCacheCap is the per-thread per-class cache capacity. jemalloc's
+	// small-bin tcache default is on the order of a few hundred slots.
+	TCacheCap int
+	// FlushFraction is the fraction of the cache flushed on overflow;
+	// jemalloc flushes approximately 3/4.
+	FlushFraction float64
+	// FillCount is how many objects a cache refill takes from the shared
+	// pool at once.
+	FillCount int
+	// PageRunObjects is how many objects one fresh page run provides.
+	PageRunObjects int
+	// ArenasPerThread is jemalloc's arena multiplier (default 4, giving
+	// 4*Threads arenas).
+	ArenasPerThread int
+}
+
+// DefaultConfig returns the configuration used throughout the paper
+// reproduction: jemalloc-like thresholds on the Intel192 cost model.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:         threads,
+		Cost:            Intel192(),
+		TCacheCap:       100,
+		FlushFraction:   0.75,
+		FillCount:       64,
+		PageRunObjects:  64,
+		ArenasPerThread: 4,
+	}
+}
+
+func (c *Config) validate() {
+	if c.Threads <= 0 {
+		panic("simalloc: Config.Threads must be positive")
+	}
+	if c.TCacheCap <= 0 || c.FillCount <= 0 || c.PageRunObjects <= 0 {
+		panic("simalloc: cache sizing knobs must be positive")
+	}
+	if c.FlushFraction <= 0 || c.FlushFraction > 1 {
+		panic(fmt.Sprintf("simalloc: FlushFraction %v out of (0,1]", c.FlushFraction))
+	}
+	if c.ArenasPerThread <= 0 {
+		c.ArenasPerThread = 4
+	}
+}
+
+// New constructs an allocator model by name. Recognised names are
+// "jemalloc", "tcmalloc" and "mimalloc".
+func New(name string, cfg Config) (Allocator, error) {
+	switch name {
+	case "jemalloc":
+		return NewJEMalloc(cfg), nil
+	case "tcmalloc":
+		return NewTCMalloc(cfg), nil
+	case "mimalloc":
+		return NewMIMalloc(cfg), nil
+	default:
+		return nil, fmt.Errorf("simalloc: unknown allocator %q", name)
+	}
+}
+
+// AllocatorNames lists the available models in the order the paper
+// introduces them.
+func AllocatorNames() []string { return []string{"jemalloc", "tcmalloc", "mimalloc"} }

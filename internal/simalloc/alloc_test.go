@@ -1,0 +1,353 @@
+package simalloc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// smallConfig returns a config sized for fast tests.
+func smallConfig(threads int) Config {
+	cfg := DefaultConfig(threads)
+	cfg.Cost = Uniform()
+	cfg.TCacheCap = 16
+	cfg.FillCount = 8
+	cfg.PageRunObjects = 8
+	return cfg
+}
+
+func allAllocators(t *testing.T, threads int) []Allocator {
+	t.Helper()
+	var out []Allocator
+	for _, name := range AllocatorNames() {
+		a, err := New(name, smallConfig(threads))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestNewUnknownName(t *testing.T) {
+	if _, err := New("bogus", smallConfig(1)); err == nil {
+		t.Fatal("expected error for unknown allocator name")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	for _, a := range allAllocators(t, 2) {
+		t.Run(a.Name(), func(t *testing.T) {
+			o := a.Alloc(0, 240)
+			if o.State() != StateAllocated {
+				t.Fatal("fresh object not in allocated state")
+			}
+			if o.Size != 240 {
+				t.Fatalf("size rounded to %d, want 240", o.Size)
+			}
+			a.Free(0, o)
+			if o.State() != StateFree {
+				t.Fatal("freed object not in free state")
+			}
+			st := a.Stats()
+			if st.Allocs != 1 || st.Frees != 1 {
+				t.Fatalf("stats = %+v, want 1 alloc / 1 free", st)
+			}
+		})
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	for _, a := range allAllocators(t, 1) {
+		t.Run(a.Name(), func(t *testing.T) {
+			o := a.Alloc(0, 64)
+			a.Free(0, o)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("double free did not panic")
+				}
+			}()
+			a.Free(0, o)
+		})
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	// Freed objects must be recycled: allocating after freeing should not
+	// grow the mapped footprint.
+	for _, a := range allAllocators(t, 1) {
+		t.Run(a.Name(), func(t *testing.T) {
+			objs := make([]*Object, 64)
+			for i := range objs {
+				objs[i] = a.Alloc(0, 64)
+			}
+			grown := a.PeakBytes()
+			for _, o := range objs {
+				a.Free(0, o)
+			}
+			for i := range objs {
+				objs[i] = a.Alloc(0, 64)
+			}
+			if a.PeakBytes() != grown {
+				t.Fatalf("peak grew from %d to %d despite reuse", grown, a.PeakBytes())
+			}
+			for _, o := range objs {
+				a.Free(0, o)
+			}
+		})
+	}
+}
+
+func TestLiveBytesAccounting(t *testing.T) {
+	for _, a := range allAllocators(t, 1) {
+		t.Run(a.Name(), func(t *testing.T) {
+			var objs []*Object
+			for i := 0; i < 10; i++ {
+				objs = append(objs, a.Alloc(0, 240))
+			}
+			if got := a.LiveBytes(); got != 2400 {
+				t.Fatalf("LiveBytes = %d, want 2400", got)
+			}
+			for _, o := range objs {
+				a.Free(0, o)
+			}
+			if got := a.LiveBytes(); got != 0 {
+				t.Fatalf("LiveBytes after free = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestLeakGrowsMapped(t *testing.T) {
+	// Never freeing forces fresh page mappings: the mechanism behind the
+	// naive Token-EBR memory explosion (Fig. 5b).
+	for _, a := range allAllocators(t, 1) {
+		t.Run(a.Name(), func(t *testing.T) {
+			before := a.PeakBytes()
+			for i := 0; i < 1000; i++ {
+				a.Alloc(0, 64)
+			}
+			if a.PeakBytes() < before+1000*64 {
+				t.Fatalf("peak %d did not grow by leaked bytes", a.PeakBytes())
+			}
+		})
+	}
+}
+
+// TestConcurrentChurn hammers every allocator from many goroutines with
+// cross-thread frees (objects allocated by one thread freed by another),
+// checking conservation afterwards.
+func TestConcurrentChurn(t *testing.T) {
+	const threads = 8
+	const rounds = 300
+	for _, a := range allAllocators(t, threads) {
+		t.Run(a.Name(), func(t *testing.T) {
+			// hand-off ring: each thread frees objects allocated by its
+			// predecessor.
+			chans := make([]chan *Object, threads)
+			for i := range chans {
+				chans[i] = make(chan *Object, rounds)
+			}
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					next := chans[(tid+1)%threads]
+					for r := 0; r < rounds; r++ {
+						next <- a.Alloc(tid, 240)
+					}
+					close(next)
+				}(tid)
+			}
+			wg.Wait()
+			var wg2 sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg2.Add(1)
+				go func(tid int) {
+					defer wg2.Done()
+					for o := range chans[tid] {
+						a.Free(tid, o)
+					}
+				}(tid)
+			}
+			wg2.Wait()
+			st := a.Stats()
+			if st.Allocs != threads*rounds || st.Frees != threads*rounds {
+				t.Fatalf("allocs=%d frees=%d, want %d each", st.Allocs, st.Frees, threads*rounds)
+			}
+			if a.LiveBytes() != 0 {
+				t.Fatalf("LiveBytes = %d after balanced churn", a.LiveBytes())
+			}
+		})
+	}
+}
+
+// Property: any interleaved sequence of allocations and frees conserves
+// objects — live count equals allocs minus frees, and no object is ever
+// observed in a wrong state.
+func TestConservationProperty(t *testing.T) {
+	for _, name := range AllocatorNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []bool) bool {
+				a, _ := New(name, smallConfig(1))
+				var live []*Object
+				for _, isAlloc := range ops {
+					if isAlloc || len(live) == 0 {
+						live = append(live, a.Alloc(0, 64))
+					} else {
+						o := live[len(live)-1]
+						live = live[:len(live)-1]
+						a.Free(0, o)
+					}
+				}
+				st := a.Stats()
+				return st.Allocs-st.Frees == int64(len(live)) &&
+					a.LiveBytes() == int64(len(live))*64
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestFlushThreadCaches(t *testing.T) {
+	for _, a := range allAllocators(t, 2) {
+		t.Run(a.Name(), func(t *testing.T) {
+			var objs []*Object
+			for i := 0; i < 40; i++ {
+				objs = append(objs, a.Alloc(0, 64))
+			}
+			for _, o := range objs {
+				a.Free(0, o)
+			}
+			a.FlushThreadCaches()
+			// After a flush the other thread must be able to allocate the
+			// recycled objects without growing the footprint (mimalloc keeps
+			// page ownership, so only check je/tc where caches are shared
+			// through bins).
+			if a.Name() == "mimalloc" {
+				return
+			}
+			peak := a.PeakBytes()
+			got := a.Alloc(0, 64)
+			if a.PeakBytes() != peak {
+				t.Fatalf("alloc after flush grew peak")
+			}
+			a.Free(0, got)
+		})
+	}
+}
+
+func TestRemoteFreeCounted(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.TCacheCap = 2 // force immediate flushes
+	for _, name := range AllocatorNames() {
+		a, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			var objs []*Object
+			for i := 0; i < 32; i++ {
+				objs = append(objs, a.Alloc(0, 64))
+			}
+			for _, o := range objs {
+				a.Free(1, o) // all frees are remote
+			}
+			if st := a.Stats(); st.RemoteFrees == 0 {
+				t.Fatalf("%s: no remote frees recorded for cross-thread frees", name)
+			}
+		})
+	}
+}
+
+func TestStatsFlushesGrowWithBatchedFrees(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.TCacheCap = 8
+	a := NewJEMalloc(cfg)
+	var objs []*Object
+	for i := 0; i < 256; i++ {
+		objs = append(objs, a.Alloc(0, 64))
+	}
+	for _, o := range objs {
+		a.Free(0, o)
+	}
+	st := a.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("expected tcache flushes for batched frees")
+	}
+	if st.FlushNanos <= 0 || st.FreeNanos < st.FlushNanos {
+		t.Fatalf("timing accounting inconsistent: %+v", st)
+	}
+}
+
+func TestPctOf(t *testing.T) {
+	if got := PctOf(500, 1000, 1); got != 50 {
+		t.Fatalf("PctOf = %v, want 50", got)
+	}
+	if got := PctOf(500, 0, 4); got != 0 {
+		t.Fatalf("PctOf with zero wall = %v, want 0", got)
+	}
+}
+
+func TestCostModelSocketAndTouch(t *testing.T) {
+	cm := Intel192()
+	cases := []struct {
+		tid, socket int
+	}{{0, 0}, {47, 0}, {48, 1}, {95, 1}, {191, 3}}
+	for _, c := range cases {
+		if got := cm.Socket(c.tid); got != c.socket {
+			t.Errorf("Socket(%d) = %d, want %d", c.tid, got, c.socket)
+		}
+	}
+	local := cm.TouchCost(0, 0)
+	remote := cm.TouchCost(0, 3)
+	if remote != local*cm.RemoteFactor {
+		t.Errorf("remote touch %d, want %d", remote, local*cm.RemoteFactor)
+	}
+	uni := Uniform()
+	if uni.TouchCost(0, 0) != uni.LocalTouch {
+		t.Error("uniform model local touch mismatch")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Threads: 1},
+		{Threads: 1, TCacheCap: 4, FillCount: 4, PageRunObjects: 4, FlushFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestObjListSpliceOrder(t *testing.T) {
+	var a, b objList
+	mk := func(id uint64) *Object { return &Object{ID: id} }
+	a.push(mk(1))
+	a.push(mk(2))
+	b.push(mk(3))
+	a.pushAll(&b)
+	if b.len() != 0 {
+		t.Fatal("source list not emptied")
+	}
+	var ids []uint64
+	for o := a.pop(); o != nil; o = a.pop() {
+		ids = append(ids, o.ID)
+	}
+	if fmt.Sprint(ids) != "[3 2 1]" {
+		t.Fatalf("splice order = %v", ids)
+	}
+}

@@ -1,0 +1,82 @@
+package simalloc
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Lock-contention model.
+//
+// The paper's remote-batch-free collapse is a lock-convoy phenomenon: at an
+// epoch boundary many threads flush their caches at the same moment, and
+// every flush holds each destination bin's lock for time proportional to
+// the whole flushed batch. On the simulation host, goroutine critical
+// sections are short relative to a scheduler quantum and effectively never
+// overlap, so sync.Mutex alone cannot reproduce the convoy.
+//
+// binClock adds a virtual-queueing model on top of each bin mutex: the bin
+// tracks the wall-clock instant until which it is (virtually) busy. An
+// acquirer reserves [start, start+hold) where start is max(now, busyUntil),
+// then burns its queueing delay (start - now) as real spin work, which the
+// stats record as lock time — the analogue of je_malloc_mutex_lock_slow.
+// Reservations made by many threads within a short wall window therefore
+// stack up exactly like a contended mutex queue, independent of how many
+// physical cores the host has.
+type binClock struct {
+	until atomic.Int64 // wall ns until which the bin is virtually busy
+}
+
+// maxQueueNs caps a single queueing delay; a cap keeps one pathological
+// pile-up from freezing a thread for the rest of a trial.
+const maxQueueNs = 20 * int64(time.Millisecond)
+
+// reserve books holdNs of bin time and returns the queueing delay the
+// caller must burn before proceeding.
+func (b *binClock) reserve(holdNs int64) (queueNs int64) {
+	now := time.Now().UnixNano()
+	for {
+		cur := b.until.Load()
+		start := now
+		if cur > start {
+			start = cur
+		}
+		if start-now > maxQueueNs {
+			start = now + maxQueueNs
+		}
+		if b.until.CompareAndSwap(cur, start+holdNs) {
+			return start - now
+		}
+	}
+}
+
+// nsPerSpinUnit converts spin-work units to nanoseconds; calibrated once at
+// package init so virtual hold times track the real cost of the work done
+// under the lock.
+var nsPerSpinUnit int64 = 1
+
+func init() {
+	const probe = 1 << 16
+	t0 := time.Now()
+	spinWork(0, probe)
+	per := time.Since(t0).Nanoseconds() / probe
+	if per < 1 {
+		per = 1
+	}
+	if per > 16 {
+		per = 16
+	}
+	nsPerSpinUnit = per
+}
+
+// burnQueue spends the queueing delay as spin work attributable to tid and
+// returns the time actually burned (recorded as lock-wait time).
+func burnQueue(tid int, queueNs int64) int64 {
+	if queueNs <= 0 {
+		return 0
+	}
+	t0 := time.Now()
+	for time.Since(t0).Nanoseconds() < queueNs {
+		spinWork(tid, 64)
+	}
+	return time.Since(t0).Nanoseconds()
+}

@@ -1,0 +1,270 @@
+package simalloc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JEMalloc models jemalloc 5.x's small-object path as described in the
+// paper:
+//
+//   - 4×T arenas; each thread is assigned a home arena and allocates from it.
+//   - Per-thread caches (tcaches) per size class. Free pushes into the
+//     tcache; when the cache overflows, ~3/4 of it is flushed.
+//   - The flush locks the bin of the first object's arena, then walks the
+//     whole flushed batch under that lock, returning every object belonging
+//     to that bin; it repeats with the next unreturned object's bin. An
+//     object freed by a thread other than its birth-arena's owner is a
+//     remote free and pays the NUMA touch cost.
+//
+// This is the structure that makes freeing large batches pathological: the
+// lock hold time is proportional to the entire flushed batch, and with many
+// threads flushing concurrently the bin mutexes convoy (the RBF problem).
+type JEMalloc struct {
+	cfg    Config
+	stats  *statsArena
+	arenas []jeArena
+	caches []jeTCache
+	nextID atomic.Uint64
+}
+
+type jeArena struct {
+	homeSocket int
+	bins       [NumSizeClasses]jeBin
+}
+
+type jeBin struct {
+	mu    sync.Mutex
+	clock binClock
+	list  objList
+	_     [4]int64 // keep bins on separate cache lines
+}
+
+type jeTCacheBin struct {
+	list objList
+}
+
+type jeTCache struct {
+	bins [NumSizeClasses]jeTCacheBin
+	// scratch is reused by flushes to hold the batch being returned.
+	scratch []*Object
+	_       [8]int64
+}
+
+// NewJEMalloc constructs the jemalloc model for cfg.
+func NewJEMalloc(cfg Config) *JEMalloc {
+	cfg.validate()
+	a := &JEMalloc{
+		cfg:    cfg,
+		stats:  newStatsArena(cfg.Threads),
+		arenas: make([]jeArena, cfg.ArenasPerThread*cfg.Threads),
+		caches: make([]jeTCache, cfg.Threads),
+	}
+	for i := range a.arenas {
+		// Arena i primarily serves thread i / ArenasPerThread; home the
+		// arena on that thread's socket.
+		a.arenas[i].homeSocket = cfg.Cost.Socket(i / cfg.ArenasPerThread)
+	}
+	for i := range a.caches {
+		a.caches[i].scratch = make([]*Object, 0, cfg.TCacheCap)
+	}
+	return a
+}
+
+func (a *JEMalloc) Name() string { return "jemalloc" }
+
+// Threads returns the number of simulated threads.
+func (a *JEMalloc) Threads() int { return a.cfg.Threads }
+
+// homeArena returns the arena a thread allocates from. With 4 arenas per
+// thread each thread gets a distinct arena (jemalloc hashes threads to
+// arenas; with 4T arenas collisions are rare, so a distinct assignment is
+// the faithful common case).
+func (a *JEMalloc) homeArena(tid int) int32 {
+	return int32(tid * a.cfg.ArenasPerThread % len(a.arenas))
+}
+
+// Alloc serves tid from its tcache, refilling from the home arena bin on
+// miss and mapping a fresh page run when the bin is also empty.
+func (a *JEMalloc) Alloc(tid int, size int) *Object {
+	t0 := time.Now()
+	ts := &a.stats.perThread[tid]
+	class := SizeToClass(size)
+	tc := &a.caches[tid].bins[class]
+	o := tc.list.pop()
+	if o == nil {
+		a.refill(tid, class, tc)
+		o = tc.list.pop()
+	}
+	o.markAllocated()
+	o.OwnerTID = int32(tid)
+	ts.allocs++
+	ts.allocBytes += int64(o.Size)
+	ts.allocNanos += time.Since(t0).Nanoseconds()
+	return o
+}
+
+func (a *JEMalloc) refill(tid int, class uint8, tc *jeTCacheBin) {
+	ts := &a.stats.perThread[tid]
+	arenaIdx := a.homeArena(tid)
+	arena := &a.arenas[arenaIdx]
+	bin := &arena.bins[class]
+
+	touch := a.cfg.Cost.TouchCost(tid, arena.homeSocket)
+	hold := int64(touch+a.cfg.FillCount*a.cfg.Cost.PerObjectAlloc) * nsPerSpinUnit
+	ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
+	spinWork(tid, touch)
+	l0 := time.Now()
+	bin.mu.Lock()
+	ts.lockNanos += time.Since(l0).Nanoseconds()
+	got := 0
+	for got < a.cfg.FillCount {
+		o := bin.list.pop()
+		if o == nil {
+			break
+		}
+		spinWork(tid, a.cfg.Cost.PerObjectAlloc)
+		tc.list.push(o)
+		got++
+	}
+	bin.mu.Unlock()
+	if got > 0 {
+		return
+	}
+
+	// Bin empty: map a fresh page run and carve it into objects.
+	spinWork(tid, a.cfg.Cost.FreshPage)
+	ts.freshPages++
+	size := ClassToSize(class)
+	a.stats.addMapped(int64(size) * int64(a.cfg.PageRunObjects))
+	for i := 0; i < a.cfg.PageRunObjects; i++ {
+		// First touch of cold memory: page-fault and cache-miss work a
+		// recycled object would not pay.
+		spinWork(tid, a.cfg.Cost.FreshObject)
+		tc.list.push(&Object{
+			ID:    a.nextID.Add(1),
+			Class: class,
+			Size:  size,
+			Arena: arenaIdx,
+		})
+	}
+}
+
+// Free pushes o into tid's tcache and flushes ~FlushFraction of the cache
+// when it overflows, following je_tcache_bin_flush_small.
+func (a *JEMalloc) Free(tid int, o *Object) {
+	t0 := time.Now()
+	ts := &a.stats.perThread[tid]
+	o.markFree()
+	tc := &a.caches[tid].bins[o.Class]
+	tc.list.push(o)
+	ts.frees++
+	ts.freeBytes += int64(o.Size)
+	if tc.list.len() > a.cfg.TCacheCap {
+		a.flush(tid, o.Class, tc)
+	}
+	ts.freeNanos += time.Since(t0).Nanoseconds()
+}
+
+// flush returns FlushFraction of the tcache bin to the owning arena bins.
+// The locking discipline matches the paper's description of jemalloc: lock
+// the bin of the first object, then iterate over the entire batch while
+// holding the lock, returning every object that belongs to that bin; repeat
+// until the batch is empty.
+func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
+	f0 := time.Now()
+	ts := &a.stats.perThread[tid]
+	ts.flushes++
+
+	n := int(float64(a.cfg.TCacheCap) * a.cfg.FlushFraction)
+	if n > tc.list.len() {
+		n = tc.list.len()
+	}
+	batch := a.caches[tid].scratch[:0]
+	for i := 0; i < n; i++ {
+		batch = append(batch, tc.list.pop())
+	}
+
+	myArena := a.homeArena(tid)
+	for done := 0; done < len(batch); {
+		// Find the first unreturned object; its arena's bin is locked next.
+		var first *Object
+		matched := 0
+		for _, o := range batch {
+			if o == nil {
+				continue
+			}
+			if first == nil {
+				first = o
+			}
+			if o.Arena == first.Arena {
+				matched++
+			}
+		}
+		arena := &a.arenas[first.Arena]
+		bin := &arena.bins[class]
+
+		// Remote bins pay the NUMA factor on both the lock touch and the
+		// per-object bookkeeping done while holding the lock.
+		touch := a.cfg.Cost.TouchCost(tid, arena.homeSocket)
+		perObj := a.cfg.Cost.PerObjectFree
+		if int32(myArena) != first.Arena {
+			perObj *= a.cfg.Cost.RemoteFactor
+		}
+		// The lock is (virtually) held while scanning the entire batch and
+		// returning every matching object — the je_tcache_bin_flush_small
+		// structure that makes large flushes convoy.
+		hold := int64(touch+matched*perObj+len(batch)*2) * nsPerSpinUnit
+		ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
+
+		spinWork(tid, touch)
+		l0 := time.Now()
+		bin.mu.Lock()
+		ts.lockNanos += time.Since(l0).Nanoseconds()
+		for i, o := range batch {
+			if o == nil || o.Arena != first.Arena {
+				continue
+			}
+			spinWork(tid, perObj)
+			bin.list.push(o)
+			batch[i] = nil
+			done++
+			if o.Arena != myArena {
+				ts.remoteFrees++
+			}
+		}
+		bin.mu.Unlock()
+	}
+	a.caches[tid].scratch = batch[:0]
+	ts.flushNanos += time.Since(f0).Nanoseconds()
+}
+
+// FlushThreadCaches returns every cached object to its arena bin without
+// charging simulated cost; used between trials.
+func (a *JEMalloc) FlushThreadCaches() {
+	for t := range a.caches {
+		for c := range a.caches[t].bins {
+			tc := &a.caches[t].bins[c]
+			for {
+				o := tc.list.pop()
+				if o == nil {
+					break
+				}
+				bin := &a.arenas[o.Arena].bins[o.Class]
+				bin.mu.Lock()
+				bin.list.push(o)
+				bin.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Stats returns an aggregated snapshot.
+func (a *JEMalloc) Stats() Stats { return a.stats.snapshot() }
+
+// LiveBytes reports bytes currently held by the application.
+func (a *JEMalloc) LiveBytes() int64 { return liveBytes(a.stats) }
+
+// PeakBytes reports the high-water mark of mapped bytes.
+func (a *JEMalloc) PeakBytes() int64 { return a.stats.peak.Load() }

@@ -1,0 +1,50 @@
+package simalloc
+
+// Size classes, loosely modelled after jemalloc's small-object classes.
+// Index 0 is 8 bytes; classes grow by 16 up to 256 bytes and then double.
+// The two sizes that matter in the paper's workloads are 64 bytes (OCCtree
+// nodes) and 240 bytes (ABtree nodes); both land in distinct small classes.
+
+// sizeClasses lists the byte size of each class in ascending order.
+var sizeClasses = []int32{
+	8, 16, 32, 48, 64, 80, 96, 112, 128,
+	144, 160, 176, 192, 208, 224, 240, 256,
+	320, 384, 448, 512, 1024, 2048, 4096,
+}
+
+// NumSizeClasses is the number of small-object size classes the simulated
+// allocators support. Requests larger than the biggest class are rejected.
+const NumSizeClasses = 24
+
+// MaxSmallSize is the largest request the simulated allocators serve.
+var MaxSmallSize = int(sizeClasses[len(sizeClasses)-1])
+
+// classLookup maps a request size in bytes to its class index. Built once at
+// init; lookups on the allocation fast path are a single slice index.
+var classLookup [4097]uint8
+
+func init() {
+	if len(sizeClasses) != NumSizeClasses {
+		panic("simalloc: NumSizeClasses out of sync with sizeClasses")
+	}
+	c := 0
+	for sz := 1; sz <= MaxSmallSize; sz++ {
+		for int32(sz) > sizeClasses[c] {
+			c++
+		}
+		classLookup[sz] = uint8(c)
+	}
+}
+
+// SizeToClass returns the size-class index for a request of size bytes.
+// It panics if size is not in (0, MaxSmallSize]; the simulated workloads
+// only allocate fixed-size nodes, so an out-of-range size is a bug.
+func SizeToClass(size int) uint8 {
+	if size <= 0 || size > MaxSmallSize {
+		panic("simalloc: size out of range for small classes")
+	}
+	return classLookup[size]
+}
+
+// ClassToSize returns the rounded byte size of a class.
+func ClassToSize(class uint8) int32 { return sizeClasses[class] }

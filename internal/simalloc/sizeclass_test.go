@@ -1,0 +1,77 @@
+package simalloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeToClassBounds(t *testing.T) {
+	if got := SizeToClass(1); got != 0 {
+		t.Errorf("SizeToClass(1) = %d, want 0", got)
+	}
+	if got := SizeToClass(8); got != 0 {
+		t.Errorf("SizeToClass(8) = %d, want 0", got)
+	}
+	if got := SizeToClass(9); got != 1 {
+		t.Errorf("SizeToClass(9) = %d, want 1", got)
+	}
+	if got := SizeToClass(MaxSmallSize); int(got) != NumSizeClasses-1 {
+		t.Errorf("SizeToClass(max) = %d, want %d", got, NumSizeClasses-1)
+	}
+}
+
+func TestSizeToClassPanicsOutOfRange(t *testing.T) {
+	for _, sz := range []int{0, -1, MaxSmallSize + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SizeToClass(%d) did not panic", sz)
+				}
+			}()
+			SizeToClass(sz)
+		}()
+	}
+}
+
+// Property: every in-range size maps to a class whose size is >= the request
+// and the next-smaller class (if any) is < the request.
+func TestSizeToClassTightProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := int(raw)%MaxSmallSize + 1
+		c := SizeToClass(size)
+		if int(ClassToSize(c)) < size {
+			return false
+		}
+		if c > 0 && int(ClassToSize(c-1)) >= size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperNodeSizesDistinctClasses(t *testing.T) {
+	// The paper's two contrasting node sizes must land in distinct classes
+	// with no rounding slack, so allocation-volume comparisons are faithful.
+	ab := SizeToClass(240)
+	occ := SizeToClass(64)
+	if ab == occ {
+		t.Fatal("240B and 64B map to the same size class")
+	}
+	if ClassToSize(ab) != 240 {
+		t.Errorf("240B class rounds to %d", ClassToSize(ab))
+	}
+	if ClassToSize(occ) != 64 {
+		t.Errorf("64B class rounds to %d", ClassToSize(occ))
+	}
+}
+
+func TestClassToSizeMonotone(t *testing.T) {
+	for c := 1; c < NumSizeClasses; c++ {
+		if ClassToSize(uint8(c)) <= ClassToSize(uint8(c-1)) {
+			t.Fatalf("size classes not strictly increasing at %d", c)
+		}
+	}
+}

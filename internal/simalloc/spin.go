@@ -1,0 +1,30 @@
+package simalloc
+
+// Calibrated busy work standing in for memory-system latency. The simulated
+// allocators charge spin work instead of sleeping so that (a) the work scales
+// the same way real bookkeeping does when performed while holding a lock,
+// and (b) the Go scheduler sees genuinely busy goroutines, reproducing the
+// convoy effects the paper observes.
+
+// sinkSlot is padded to a cache line so per-thread sink writes never share
+// lines (false sharing would couple unrelated threads' spin loops).
+type sinkSlot struct {
+	v uint64
+	_ [7]uint64
+}
+
+// spinSinks gives every simulated thread a slot to publish spin results to,
+// preventing the compiler from eliding the loops. Indexed by tid modulo len.
+var spinSinks [1024]sinkSlot
+
+// spinWork performs n units of ALU work attributable to simulated thread
+// tid. The mixing keeps the loop non-collapsible by the compiler.
+func spinWork(tid, n int) {
+	var x uint64 = uint64(tid)*0x9e3779b97f4a7c15 + 1
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSinks[tid&1023].v = x
+}

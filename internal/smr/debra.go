@@ -1,0 +1,114 @@
+package smr
+
+import "repro/internal/simalloc"
+
+// DEBRA is Brown's distributed epoch-based reclamation (PODC '15), the
+// paper's representative state-of-the-art EBR:
+//
+//   - A global epoch number and a single-writer multi-reader announcement
+//     array with one slot per thread.
+//   - Threads announce the epoch at the start of each operation and rotate
+//     three limbo bags on epoch change, freeing the bag from two epochs ago.
+//   - The scan of other threads' announcements is amortized: each operation
+//     inspects one other thread, round-robin; the first thread to observe
+//     that all threads announced the current epoch advances it.
+//
+// Doubling the thread count therefore doubles the expected epoch length and
+// the limbo-bag size — the mechanism behind the paper's Table 1.
+type DEBRA struct {
+	e  env
+	f  freer
+	af bool
+	th []debraThread
+}
+
+type debraThread struct {
+	announced pad64
+	bags      [3][]*simalloc.Object
+	cur       int
+	scanIdx   int
+	opCount   int
+	_         [4]int64
+}
+
+// NewDEBRA constructs DEBRA; af selects the amortized-free variant
+// (debra_af in the paper's Experiment 2).
+func NewDEBRA(cfg Config, af bool) *DEBRA {
+	d := &DEBRA{af: af}
+	d.e = newEnv(cfg)
+	d.f = newFreer(&d.e, af)
+	d.th = make([]debraThread, d.e.cfg.Threads)
+	return d
+}
+
+func (d *DEBRA) Name() string {
+	if d.af {
+		return "debra_af"
+	}
+	return "debra"
+}
+
+// BeginOp announces the current epoch, rotating limbo bags on change, and
+// performs the amortized announcement scan.
+func (d *DEBRA) BeginOp(tid int) {
+	me := &d.th[tid]
+	ge := d.e.epochs.Load()
+	if me.announced.v.Load() != ge {
+		me.announced.v.Store(ge)
+		// The bag filled two epochs ago is now safe: no operation that
+		// started before those objects were unlinked can still be running.
+		idx := int((ge + 1) % 3)
+		if len(me.bags[idx]) > 0 {
+			d.f.freeBatch(tid, me.bags[idx])
+			me.bags[idx] = me.bags[idx][:0]
+		}
+		me.cur = int(ge % 3)
+		me.scanIdx = 0
+	}
+
+	me.opCount++
+	if me.opCount%d.e.cfg.EpochCheckOps != 0 {
+		return
+	}
+	// Amortized scan: check one other thread per operation.
+	if d.th[me.scanIdx].announced.v.Load() == ge {
+		me.scanIdx++
+		if me.scanIdx >= d.e.cfg.Threads {
+			me.scanIdx = 0
+			if d.e.epochs.CompareAndSwap(ge, ge+1) {
+				d.e.sampleGarbage(tid)
+			}
+		}
+	}
+}
+
+// EndOp pumps the freer (one queued free per op for the AF variant).
+func (d *DEBRA) EndOp(tid int) { d.f.pump(tid) }
+
+// OnAlloc is a no-op for epoch-based schemes.
+func (d *DEBRA) OnAlloc(int, *simalloc.Object) {}
+
+// Protect is a no-op for epoch-based schemes.
+func (d *DEBRA) Protect(int, int, *simalloc.Object) {}
+
+// Retire places o in the current-epoch limbo bag.
+func (d *DEBRA) Retire(tid int, o *simalloc.Object) {
+	me := &d.th[tid]
+	me.bags[me.cur] = append(me.bags[me.cur], o)
+	d.e.noteRetire(tid)
+}
+
+// Drain frees all bags and the freeable list unconditionally.
+func (d *DEBRA) Drain(tid int) {
+	me := &d.th[tid]
+	for i := range me.bags {
+		if len(me.bags[i]) > 0 {
+			d.f.freeBatch(tid, me.bags[i])
+			me.bags[i] = me.bags[i][:0]
+		}
+	}
+	d.f.drainAll(tid)
+}
+
+// Stats returns an aggregated snapshot.
+func (d *DEBRA) Stats() Stats { return d.e.stats() }

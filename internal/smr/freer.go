@@ -1,0 +1,165 @@
+package smr
+
+import (
+	"time"
+
+	"repro/internal/simalloc"
+	"repro/internal/timeline"
+)
+
+// A freer is the policy for releasing a batch of limbo objects that a
+// reclaimer has determined safe. The paper's thesis is that this policy —
+// not the grace-period detection — decides performance on jemalloc-like
+// allocators:
+//
+//   - batchFreer frees the whole batch immediately (the traditional
+//     "optimization", which triggers remote batch frees), and
+//   - amortizedFreer queues the batch on a thread-local freeable list and
+//     releases DrainRate objects per subsequent operation (the paper's fix).
+type freer interface {
+	// freeBatch releases or queues a safe-to-free batch on behalf of tid.
+	// Ownership of the slice contents transfers; the slice itself may be
+	// reused by the caller afterwards.
+	freeBatch(tid int, batch []*simalloc.Object)
+	// pump is called once per data-structure operation.
+	pump(tid int)
+	// drainAll releases everything still queued for tid.
+	drainAll(tid int)
+	// queued reports tid's freeable-list length.
+	queued(tid int) int
+}
+
+// batchFreer frees whole batches immediately, recording the batch as one
+// timeline event and any individual high-latency free call separately.
+type batchFreer struct {
+	e *env
+}
+
+func newBatchFreer(e *env) *batchFreer { return &batchFreer{e: e} }
+
+func (b *batchFreer) freeBatch(tid int, batch []*simalloc.Object) {
+	if len(batch) == 0 {
+		return
+	}
+	e := b.e
+	t0 := time.Now()
+	if e.rec != nil {
+		for _, o := range batch {
+			c0 := time.Now()
+			e.alloc.Free(tid, o)
+			e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
+		}
+	} else {
+		for _, o := range batch {
+			e.alloc.Free(tid, o)
+		}
+	}
+	e.noteFree(tid, int64(len(batch)))
+	if e.rec != nil {
+		e.rec.Record(tid, timeline.KindBatchFree, t0, time.Now(), int64(len(batch)))
+	}
+}
+
+func (b *batchFreer) pump(int)       {}
+func (b *batchFreer) drainAll(int)   {}
+func (b *batchFreer) queued(int) int { return 0 }
+
+// afQueue is one thread's freeable list. A plain FIFO ring over a slice; the
+// owner is the only accessor.
+type afQueue struct {
+	objs []*simalloc.Object
+	head int
+	_    [4]int64
+}
+
+func (q *afQueue) push(batch []*simalloc.Object) {
+	// Compact the consumed prefix when it dominates the slice.
+	if q.head > len(q.objs)/2 && q.head > 1024 {
+		n := copy(q.objs, q.objs[q.head:])
+		q.objs = q.objs[:n]
+		q.head = 0
+	}
+	q.objs = append(q.objs, batch...)
+}
+
+func (q *afQueue) pop() *simalloc.Object {
+	if q.head >= len(q.objs) {
+		return nil
+	}
+	o := q.objs[q.head]
+	q.objs[q.head] = nil
+	q.head++
+	return o
+}
+
+func (q *afQueue) len() int { return len(q.objs) - q.head }
+
+// amortizedFreer implements the paper's amortized free (AF): safe batches
+// are appended to a per-thread freeable list, and each operation frees
+// DrainRate objects from the list. Freeing gradually lets the allocator's
+// thread cache absorb and recycle the objects instead of overflowing into
+// remote batch frees.
+type amortizedFreer struct {
+	e      *env
+	rate   int
+	queues []afQueue
+}
+
+func newAmortizedFreer(e *env) *amortizedFreer {
+	return &amortizedFreer{
+		e:      e,
+		rate:   e.cfg.DrainRate,
+		queues: make([]afQueue, e.cfg.Threads),
+	}
+}
+
+func (a *amortizedFreer) freeBatch(tid int, batch []*simalloc.Object) {
+	if len(batch) == 0 {
+		return
+	}
+	a.queues[tid].push(batch)
+}
+
+func (a *amortizedFreer) pump(tid int) {
+	e := a.e
+	q := &a.queues[tid]
+	for i := 0; i < a.rate; i++ {
+		o := q.pop()
+		if o == nil {
+			return
+		}
+		c0 := time.Now()
+		e.alloc.Free(tid, o)
+		if e.rec != nil {
+			e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
+		}
+		e.noteFree(tid, 1)
+	}
+}
+
+func (a *amortizedFreer) drainAll(tid int) {
+	e := a.e
+	q := &a.queues[tid]
+	n := int64(0)
+	for {
+		o := q.pop()
+		if o == nil {
+			break
+		}
+		e.alloc.Free(tid, o)
+		n++
+	}
+	if n > 0 {
+		e.noteFree(tid, n)
+	}
+}
+
+func (a *amortizedFreer) queued(tid int) int { return a.queues[tid].len() }
+
+// newFreer picks the policy: amortized when af is set, else batch.
+func newFreer(e *env, af bool) freer {
+	if af {
+		return newAmortizedFreer(e)
+	}
+	return newBatchFreer(e)
+}

@@ -1,0 +1,148 @@
+package smr
+
+import (
+	"runtime"
+
+	"repro/internal/simalloc"
+)
+
+// NBR is neutralization-based reclamation (Singh, Brown & Mashtizadeh,
+// PPoPP '21). In the original, a thread whose limbo bag fills sends POSIX
+// signals to all other threads; the handlers longjmp readers out of their
+// read-side sections, after which the whole bag is free to reclaim. Go has
+// no safe analogue of interrupting a goroutine, so neutralization is
+// modelled as a round-acknowledgement protocol: the reclaimer publishes a
+// new neutralization round, readers acknowledge it at their next operation
+// boundary or Protect checkpoint (where the original would take the
+// signal), and the reclaimer waits for all acknowledgements before freeing
+// the bag in one batch. The cost profile is preserved: one global
+// coordination round per bag, then a large batch free — exactly the shape
+// that triggers the RBF problem.
+//
+// NBR+ adds signal elision: if some other thread completed a neutralization
+// round after this thread's bag started filling, that round already proves
+// the bag's objects are unreachable, so the bag is freed without a new
+// round.
+type NBR struct {
+	e    env
+	f    freer
+	af   bool
+	plus bool
+
+	round pad64   // current neutralization round
+	acks  []pad64 // per-thread acknowledged round
+	done  pad64   // rounds fully acknowledged (for elision)
+	th    []nbrThread
+}
+
+type nbrThread struct {
+	bag []*simalloc.Object
+	// bagStartDone is the value of done when the bag was last empty.
+	bagStartDone int64
+	// active is 1 while the thread is inside an operation. An idle thread
+	// holds no references, so a neutralizer treats it as implicitly
+	// acknowledged — mirroring the original, where signals reach idle
+	// threads immediately.
+	active pad64
+	_      [4]int64
+}
+
+// NewNBR constructs NBR (plus=false) or NBR+ (plus=true); af selects the
+// amortized-free variant.
+func NewNBR(cfg Config, plus, af bool) *NBR {
+	n := &NBR{af: af, plus: plus}
+	n.e = newEnv(cfg)
+	n.f = newFreer(&n.e, af)
+	n.acks = make([]pad64, n.e.cfg.Threads)
+	n.th = make([]nbrThread, n.e.cfg.Threads)
+	return n
+}
+
+func (n *NBR) Name() string {
+	name := "nbr"
+	if n.plus {
+		name = "nbrplus"
+	}
+	if n.af {
+		name += "_af"
+	}
+	return name
+}
+
+// ack acknowledges any pending neutralization round; this is where the
+// original algorithm's signal handler would run.
+func (n *NBR) ack(tid int) {
+	r := n.round.v.Load()
+	if n.acks[tid].v.Load() != r {
+		n.acks[tid].v.Store(r)
+	}
+}
+
+// BeginOp marks the thread active and acknowledges pending rounds.
+func (n *NBR) BeginOp(tid int) {
+	n.th[tid].active.v.Store(1)
+	n.ack(tid)
+}
+
+// EndOp acknowledges pending rounds, marks the thread idle, and pumps the
+// freer.
+func (n *NBR) EndOp(tid int) {
+	n.ack(tid)
+	n.th[tid].active.v.Store(0)
+	n.f.pump(tid)
+}
+
+// OnAlloc is a no-op.
+func (n *NBR) OnAlloc(int, *simalloc.Object) {}
+
+// Protect is a neutralization checkpoint.
+func (n *NBR) Protect(tid int, _ int, _ *simalloc.Object) { n.ack(tid) }
+
+// Retire appends to the bag; a full bag triggers neutralization (or elides
+// it, for NBR+) and then frees the whole bag.
+func (n *NBR) Retire(tid int, o *simalloc.Object) {
+	me := &n.th[tid]
+	if len(me.bag) == 0 {
+		me.bagStartDone = n.done.v.Load()
+	}
+	me.bag = append(me.bag, o)
+	n.e.noteRetire(tid)
+	if len(me.bag) < n.e.cfg.BatchSize {
+		return
+	}
+	if !(n.plus && n.done.v.Load() > me.bagStartDone) {
+		n.neutralize(tid)
+	}
+	n.f.freeBatch(tid, me.bag)
+	me.bag = me.bag[:0]
+}
+
+// neutralize starts a round and waits for every thread to acknowledge it.
+func (n *NBR) neutralize(tid int) {
+	r := n.round.v.Add(1)
+	n.acks[tid].v.Store(r)
+	for t := 0; t < n.e.cfg.Threads; t++ {
+		for n.acks[t].v.Load() < r && n.th[t].active.v.Load() == 1 {
+			if n.e.stopped() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	n.done.v.Store(r)
+	n.e.epochs.Add(1)
+	n.e.sampleGarbage(tid)
+}
+
+// Drain frees everything pending unconditionally.
+func (n *NBR) Drain(tid int) {
+	me := &n.th[tid]
+	if len(me.bag) > 0 {
+		n.f.freeBatch(tid, me.bag)
+		me.bag = me.bag[:0]
+	}
+	n.f.drainAll(tid)
+}
+
+// Stats returns an aggregated snapshot.
+func (n *NBR) Stats() Stats { return n.e.stats() }

@@ -1,0 +1,121 @@
+package smr
+
+import (
+	"runtime"
+
+	"repro/internal/simalloc"
+)
+
+// RCU models the read-copy-update style evaluated by Hart et al.: readers
+// bracket operations with a per-thread counter (odd while inside a
+// read-side critical section), and a thread whose limbo bag reaches
+// BatchSize performs a synchronous grace-period wait — polling until every
+// other thread has either left its critical section or passed through a new
+// one — before freeing the whole bag.
+//
+// The synchronous wait makes reclamation latency visible in the operation
+// path, and the bag-at-once free makes RCU a batch-freeing scheme subject
+// to the RBF problem; rcu_af keeps the grace-period wait but queues the bag
+// for amortized freeing.
+type RCU struct {
+	e  env
+	f  freer
+	af bool
+	th []rcuThread
+}
+
+type rcuThread struct {
+	// counter is odd while the thread is inside an operation.
+	counter pad64
+	bag     []*simalloc.Object
+	_       [4]int64
+}
+
+// NewRCU constructs RCU; af selects the amortized-free variant.
+func NewRCU(cfg Config, af bool) *RCU {
+	r := &RCU{af: af}
+	r.e = newEnv(cfg)
+	r.f = newFreer(&r.e, af)
+	r.th = make([]rcuThread, r.e.cfg.Threads)
+	return r
+}
+
+func (r *RCU) Name() string {
+	if r.af {
+		return "rcu_af"
+	}
+	return "rcu"
+}
+
+// BeginOp enters the read-side critical section (counter becomes odd).
+func (r *RCU) BeginOp(tid int) {
+	c := &r.th[tid].counter.v
+	c.Store(c.Load() + 1)
+}
+
+// EndOp leaves the critical section (counter becomes even) and pumps the
+// freer.
+func (r *RCU) EndOp(tid int) {
+	c := &r.th[tid].counter.v
+	c.Store(c.Load() + 1)
+	r.f.pump(tid)
+}
+
+// OnAlloc is a no-op.
+func (r *RCU) OnAlloc(int, *simalloc.Object) {}
+
+// Protect is a no-op: RCU readers are protected by the critical section.
+func (r *RCU) Protect(int, int, *simalloc.Object) {}
+
+// Retire adds o to the bag; when the bag reaches BatchSize the thread waits
+// for a grace period and hands the bag to the freer.
+func (r *RCU) Retire(tid int, o *simalloc.Object) {
+	me := &r.th[tid]
+	me.bag = append(me.bag, o)
+	r.e.noteRetire(tid)
+	if len(me.bag) < r.e.cfg.BatchSize {
+		return
+	}
+	r.synchronize(tid)
+	r.f.freeBatch(tid, me.bag)
+	me.bag = me.bag[:0]
+}
+
+// synchronize waits until every other thread has exited the read-side
+// critical section it was in when synchronize began.
+func (r *RCU) synchronize(tid int) {
+	snap := make([]int64, r.e.cfg.Threads)
+	for t := range r.th {
+		snap[t] = r.th[t].counter.v.Load()
+	}
+	for t := range r.th {
+		if t == tid {
+			continue
+		}
+		// Wait only for threads caught inside a critical section.
+		if snap[t]%2 == 0 {
+			continue
+		}
+		for r.th[t].counter.v.Load() == snap[t] {
+			if r.e.stopped() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	r.e.epochs.Add(1)
+	r.e.sampleGarbage(tid)
+}
+
+// Drain frees the bag and the freeable list unconditionally.
+func (r *RCU) Drain(tid int) {
+	me := &r.th[tid]
+	if len(me.bag) > 0 {
+		r.f.freeBatch(tid, me.bag)
+		me.bag = me.bag[:0]
+	}
+	r.f.drainAll(tid)
+}
+
+// Stats returns an aggregated snapshot.
+func (r *RCU) Stats() Stats { return r.e.stats() }

@@ -1,0 +1,86 @@
+package smr
+
+import "fmt"
+
+// factories maps registry names to constructors.
+var factories = map[string]func(Config) Reclaimer{
+	"none":     func(c Config) Reclaimer { return NewNone(c) },
+	"debra":    func(c Config) Reclaimer { return NewDEBRA(c, false) },
+	"debra_af": func(c Config) Reclaimer { return NewDEBRA(c, true) },
+	"qsbr":     func(c Config) Reclaimer { return NewQSBR(c, false) },
+	"qsbr_af":  func(c Config) Reclaimer { return NewQSBR(c, true) },
+	"rcu":      func(c Config) Reclaimer { return NewRCU(c, false) },
+	"rcu_af":   func(c Config) Reclaimer { return NewRCU(c, true) },
+	"hp":       func(c Config) Reclaimer { return NewHP(c, false) },
+	"hp_af":    func(c Config) Reclaimer { return NewHP(c, true) },
+	"he":       func(c Config) Reclaimer { return NewHE(c, false) },
+	"he_af":    func(c Config) Reclaimer { return NewHE(c, true) },
+	"ibr":      func(c Config) Reclaimer { return NewIBR(c, false) },
+	"ibr_af":   func(c Config) Reclaimer { return NewIBR(c, true) },
+	"wfe":      func(c Config) Reclaimer { return NewWFE(c, false) },
+	"wfe_af":   func(c Config) Reclaimer { return NewWFE(c, true) },
+	"nbr":      func(c Config) Reclaimer { return NewNBR(c, false, false) },
+	"nbr_af":   func(c Config) Reclaimer { return NewNBR(c, false, true) },
+	"nbrplus":  func(c Config) Reclaimer { return NewNBR(c, true, false) },
+	"nbrplus_af": func(c Config) Reclaimer {
+		return NewNBR(c, true, true)
+	},
+	"token_naive":    func(c Config) Reclaimer { return NewToken(c, TokenNaive) },
+	"token_pass":     func(c Config) Reclaimer { return NewToken(c, TokenPassFirst) },
+	"token_periodic": func(c Config) Reclaimer { return NewToken(c, TokenPeriodic) },
+	// "token" (ORIG) in Experiment 2 is the periodic variant.
+	"token":    func(c Config) Reclaimer { return NewToken(c, TokenPeriodic) },
+	"token_af": func(c Config) Reclaimer { return NewToken(c, TokenAF) },
+}
+
+// New constructs a reclaimer by registry name.
+func New(name string, cfg Config) (Reclaimer, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("smr: unknown reclaimer %q", name)
+	}
+	return f(cfg), nil
+}
+
+// Names returns all registry names in the order the paper's Experiment 1
+// legend lists them, followed by the token variants.
+func Names() []string {
+	return []string{
+		"none",
+		"debra", "debra_af",
+		"qsbr", "qsbr_af",
+		"rcu", "rcu_af",
+		"hp", "hp_af",
+		"he", "he_af",
+		"ibr", "ibr_af",
+		"wfe", "wfe_af",
+		"nbr", "nbr_af",
+		"nbrplus", "nbrplus_af",
+		"token_naive", "token_pass", "token_periodic", "token_af",
+	}
+}
+
+// Experiment2Pairs lists the (orig, af) name pairs of Figure 11b: the ten
+// reclaimers the paper applies amortized freeing to.
+func Experiment2Pairs() [][2]string {
+	return [][2]string{
+		{"debra", "debra_af"},
+		{"he", "he_af"},
+		{"hp", "hp_af"},
+		{"ibr", "ibr_af"},
+		{"nbr", "nbr_af"},
+		{"nbrplus", "nbrplus_af"},
+		{"qsbr", "qsbr_af"},
+		{"rcu", "rcu_af"},
+		{"token", "token_af"},
+		{"wfe", "wfe_af"},
+	}
+}
+
+// Experiment1Names lists the reclaimers of Figure 11a.
+func Experiment1Names() []string {
+	return []string{
+		"token_af", "debra_af", "nbrplus", "nbr", "debra", "qsbr",
+		"rcu", "ibr", "wfe", "he", "hp", "none",
+	}
+}

@@ -1,0 +1,231 @@
+// Package smr implements the safe-memory-reclamation algorithms studied in
+// "Are Your Epochs Too Epic? Batch Free Can Be Harmful" (PPoPP '24): DEBRA,
+// QSBR, RCU, hazard pointers, hazard eras, interval-based reclamation, NBR,
+// NBR+, wait-free eras, and the paper's Token-EBR variants — each available
+// in its original batch-freeing form and in the paper's amortized-free (AF)
+// form.
+//
+// In Go, reclamation is not needed for memory safety (the GC provides it);
+// what this package reproduces is the *lifecycle and cost structure* of
+// reclamation: retire into limbo bags, detect grace periods, and free
+// batches into a simulated allocator (package simalloc) whose free path has
+// the same locking discipline as jemalloc/tcmalloc/mimalloc. The paper's
+// remote-batch-free pathology, and the amortized-free fix, both live in the
+// interaction between this package's freeing policy and the allocator.
+package smr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simalloc"
+	"repro/internal/timeline"
+)
+
+// Reclaimer is the interface data structures use. A tid identifies the
+// simulated thread and must be used by one goroutine at a time.
+//
+// Call sequence per operation:
+//
+//	r.BeginOp(tid)
+//	... traversal, calling r.Protect(tid, slot, node) on visited nodes ...
+//	... r.OnAlloc(tid, o) after allocating, r.Retire(tid, o) after unlinking ...
+//	r.EndOp(tid)
+type Reclaimer interface {
+	// Name returns the registry name (e.g. "debra", "token_af").
+	Name() string
+	// BeginOp announces the start of a data-structure operation.
+	BeginOp(tid int)
+	// EndOp announces the end of the operation. Amortized-free reclaimers
+	// drain a few queued objects here.
+	EndOp(tid int)
+	// OnAlloc lets era-based reclaimers stamp an object's birth era.
+	OnAlloc(tid int, o *simalloc.Object)
+	// Protect announces that tid may hold a reference to o. slot cycles
+	// through a small per-thread window (hazard-pointer style); epoch-based
+	// reclaimers ignore it.
+	Protect(tid int, slot int, o *simalloc.Object)
+	// Retire hands an unlinked object to the reclaimer; it will be freed
+	// to the allocator once no thread can hold a reference.
+	Retire(tid int, o *simalloc.Object)
+	// Drain frees everything still pending for tid without waiting for
+	// grace periods. Only call after all threads stopped operating.
+	Drain(tid int)
+	// Stats returns an aggregated snapshot.
+	Stats() Stats
+}
+
+// Stats aggregates reclaimer activity.
+type Stats struct {
+	// Epochs counts global epoch advances (or grace periods / scan rounds
+	// for non-epoch schemes).
+	Epochs int64
+	// Retired and Freed count objects through the limbo lifecycle.
+	Retired, Freed int64
+	// Limbo is the number of objects currently retired but not freed
+	// (including objects queued by an amortized freer).
+	Limbo int64
+}
+
+// Config carries construction parameters shared by all reclaimers.
+type Config struct {
+	// Alloc is the allocator objects are freed to. Required.
+	Alloc simalloc.Allocator
+	// Threads is the number of simulated threads. Required.
+	Threads int
+	// BatchSize is the limbo-bag size that triggers reclamation for
+	// bag-threshold schemes (HP/HE/IBR/NBR/WFE). The paper's Experiment 2
+	// uses 32768 for all algorithms. Defaults to 2048 (scaled for the
+	// shorter simulated trials; configurable per experiment).
+	BatchSize int
+	// DrainRate is how many queued objects an amortized freer releases per
+	// operation. The paper uses 1 for the ABtree (≤1 free/op on average).
+	DrainRate int
+	// EpochCheckOps is DEBRA's per-operation amortization: each operation
+	// checks one other thread's announcement every EpochCheckOps ops.
+	EpochCheckOps int
+	// TokenCheckK is Periodic Token-EBR's token-check period (paper: 100).
+	TokenCheckK int
+	// HazardSlots is the per-thread hazard window (HP/HE/IBR/WFE).
+	HazardSlots int
+	// EraFreq advances the era clock every EraFreq retires (HE/IBR/WFE).
+	EraFreq int
+	// Recorder, when non-nil, receives timeline events (batch frees, long
+	// free calls, epoch advances, garbage samples).
+	Recorder *timeline.Recorder
+	// Stopped, when non-nil, lets blocking grace-period waits (RCU
+	// synchronize, NBR neutralization) bail out once the harness has
+	// stopped the trial, so worker goroutines cannot wedge waiting for
+	// acknowledgements that will never arrive.
+	Stopped func() bool
+}
+
+// DefaultConfig returns the configuration used across the reproduction.
+func DefaultConfig(alloc simalloc.Allocator, threads int) Config {
+	return Config{
+		Alloc:         alloc,
+		Threads:       threads,
+		BatchSize:     2048,
+		DrainRate:     1,
+		EpochCheckOps: 4,
+		TokenCheckK:   100,
+		HazardSlots:   3,
+		EraFreq:       64,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Alloc == nil {
+		panic("smr: Config.Alloc is required")
+	}
+	if c.Threads <= 0 {
+		panic("smr: Config.Threads must be positive")
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 2048
+	}
+	if c.DrainRate <= 0 {
+		c.DrainRate = 1
+	}
+	if c.EpochCheckOps <= 0 {
+		c.EpochCheckOps = 1
+	}
+	if c.TokenCheckK <= 0 {
+		c.TokenCheckK = 100
+	}
+	if c.HazardSlots <= 0 {
+		c.HazardSlots = 3
+	}
+	if c.EraFreq <= 0 {
+		c.EraFreq = 64
+	}
+}
+
+// threadCtr is a padded per-thread counter block. Owners update with atomic
+// ops; snapshots read with atomic loads.
+type threadCtr struct {
+	retired int64
+	freed   int64
+	limbo   int64
+	_       [5]int64
+}
+
+// env is the shared plumbing embedded by every reclaimer: allocator, freeing
+// policy hooks, per-thread counters, epoch counter and timeline recorder.
+type env struct {
+	cfg    Config
+	alloc  simalloc.Allocator
+	rec    *timeline.Recorder
+	ctr    []threadCtr
+	epochs atomic.Int64
+
+	// glogMu serializes garbage-log samples (rare: once per epoch change).
+	glogMu sync.Mutex
+}
+
+func newEnv(cfg Config) env {
+	cfg.fillDefaults()
+	return env{
+		cfg:   cfg,
+		alloc: cfg.Alloc,
+		rec:   cfg.Recorder,
+		ctr:   make([]threadCtr, cfg.Threads),
+	}
+}
+
+// stopped reports whether the harness has ended the trial.
+func (e *env) stopped() bool {
+	return e.cfg.Stopped != nil && e.cfg.Stopped()
+}
+
+func (e *env) noteRetire(tid int) {
+	atomic.AddInt64(&e.ctr[tid].retired, 1)
+	atomic.AddInt64(&e.ctr[tid].limbo, 1)
+}
+
+func (e *env) noteFree(tid int, n int64) {
+	atomic.AddInt64(&e.ctr[tid].freed, n)
+	atomic.AddInt64(&e.ctr[tid].limbo, -n)
+}
+
+// totalLimbo sums unreclaimed garbage across threads; used for the paper's
+// garbage-per-epoch samples.
+func (e *env) totalLimbo() int64 {
+	var n int64
+	for i := range e.ctr {
+		n += atomic.LoadInt64(&e.ctr[i].limbo)
+	}
+	return n
+}
+
+// sampleGarbage records a garbage sample and an epoch-advance dot for tid.
+func (e *env) sampleGarbage(tid int) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Mark(tid, timeline.KindEpochAdvance, e.epochs.Load())
+	e.rec.Mark(tid, timeline.KindGarbageSample, e.totalLimbo())
+}
+
+func (e *env) stats() Stats {
+	var s Stats
+	for i := range e.ctr {
+		s.Retired += atomic.LoadInt64(&e.ctr[i].retired)
+		s.Freed += atomic.LoadInt64(&e.ctr[i].freed)
+		s.Limbo += atomic.LoadInt64(&e.ctr[i].limbo)
+	}
+	s.Epochs = e.epochs.Load()
+	return s
+}
+
+// pad64 is a cache-line padded atomic int64 used for announcement arrays.
+type pad64 struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// padPtr is a cache-line padded atomic object pointer for hazard slots.
+type padPtr struct {
+	p atomic.Pointer[simalloc.Object]
+	_ [5]int64
+}

@@ -1,0 +1,17 @@
+package smr
+
+// NewWFE constructs the wait-free eras model (Nikolaev & Ravindran,
+// PPoPP '20). WFE extends hazard eras with a wait-free helping protocol;
+// the reproduction keeps HE's era/reservation/scan structure and models the
+// helping protocol's extra announcement traffic as additional stores per
+// protection. This matches WFE's observed position in the paper's
+// Experiment 1 (close to HE, at the slow end of the field) and its modest
+// ≈1.2× AF improvement in Experiment 2: per-operation synchronization, not
+// batch freeing, dominates its cost.
+func NewWFE(cfg Config, af bool) *HE {
+	name := "wfe"
+	if af {
+		name = "wfe_af"
+	}
+	return newEraScheme(cfg, af, name, 2)
+}

@@ -1,0 +1,159 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	r := NewRecorder(2, 8)
+	start := r.Origin()
+	r.Record(0, KindBatchFree, start, start.Add(time.Millisecond), 42)
+	r.Record(1, KindBatchFree, start.Add(time.Millisecond), start.Add(2*time.Millisecond), 7)
+	if got := r.TotalEvents(); got != 2 {
+		t.Fatalf("TotalEvents = %d, want 2", got)
+	}
+	ev := r.Events(0)[0]
+	if ev.Value != 42 || ev.Kind != KindBatchFree {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Duration() != time.Millisecond {
+		t.Fatalf("duration = %v", ev.Duration())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindBatchFree, time.Now(), time.Now(), 1)
+	r.Mark(0, KindEpochAdvance, 1)
+	if r.Threads() != 0 || r.TotalEvents() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if got := RenderASCII(r, RenderOptions{}); !strings.Contains(got, "no timeline") {
+		t.Fatalf("nil render = %q", got)
+	}
+	times, garbage := GarbageCurve(r)
+	if times != nil || garbage != nil {
+		t.Fatal("nil GarbageCurve not empty")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	r := NewRecorder(1, 3)
+	now := r.Origin()
+	for i := 0; i < 10; i++ {
+		r.Record(0, KindBatchFree, now, now.Add(time.Millisecond), int64(i))
+	}
+	if got := len(r.Events(0)); got != 3 {
+		t.Fatalf("events = %d, want capacity 3", got)
+	}
+}
+
+func TestFreeCallThresholdFilters(t *testing.T) {
+	r := NewRecorder(1, 10)
+	now := r.Origin()
+	r.Record(0, KindFreeCall, now, now.Add(time.Microsecond), 1) // below 100µs
+	if r.TotalEvents() != 0 {
+		t.Fatal("short free call not filtered")
+	}
+	r.Record(0, KindFreeCall, now, now.Add(time.Millisecond), 1)
+	if r.TotalEvents() != 1 {
+		t.Fatal("long free call filtered")
+	}
+	// Batch events are never filtered by the threshold.
+	r.Record(0, KindBatchFree, now, now.Add(time.Nanosecond), 1)
+	if r.TotalEvents() != 2 {
+		t.Fatal("batch event filtered")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(1, 4)
+	now := r.Origin()
+	r.Record(0, KindBatchFree, now, now.Add(time.Millisecond), 5)
+	r.Mark(0, KindEpochAdvance, 3)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "tid,kind,start_ns,end_ns,value\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "batch_free") || !strings.Contains(out, "epoch_advance") {
+		t.Fatalf("missing rows: %q", out)
+	}
+}
+
+func TestRenderASCIIShadesAndEpochs(t *testing.T) {
+	r := NewRecorder(2, 16)
+	now := r.Origin()
+	// Thread 0 busy freeing for the whole first half of the span.
+	r.Record(0, KindBatchFree, now, now.Add(50*time.Millisecond), 100)
+	// Thread 1 advances the epoch near the end.
+	r.Record(1, KindEpochAdvance, now.Add(99*time.Millisecond), now.Add(99*time.Millisecond), 1)
+	r.Record(1, KindBatchFree, now.Add(90*time.Millisecond), now.Add(100*time.Millisecond), 10)
+	out := RenderASCII(r, RenderOptions{Width: 20})
+	if !strings.Contains(out, "T000") || !strings.Contains(out, "T001") {
+		t.Fatalf("missing thread rows:\n%s", out)
+	}
+	if !strings.Contains(out, "X") {
+		t.Fatalf("no full shading for a half-span event:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no epoch dot in footer:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	r := NewRecorder(1, 4)
+	if got := RenderASCII(r, RenderOptions{}); !strings.Contains(got, "no events") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestRenderMaxRows(t *testing.T) {
+	r := NewRecorder(5, 4)
+	now := r.Origin()
+	for tid := 0; tid < 5; tid++ {
+		r.Record(tid, KindBatchFree, now, now.Add(time.Millisecond), 1)
+	}
+	out := RenderASCII(r, RenderOptions{Width: 10, MaxRows: 2})
+	if strings.Contains(out, "T002") {
+		t.Fatalf("MaxRows not honoured:\n%s", out)
+	}
+}
+
+func TestGarbageCurveSorted(t *testing.T) {
+	r := NewRecorder(2, 8)
+	now := r.Origin()
+	r.Record(1, KindGarbageSample, now.Add(2*time.Millisecond), now.Add(2*time.Millisecond), 30)
+	r.Record(0, KindGarbageSample, now.Add(1*time.Millisecond), now.Add(1*time.Millisecond), 10)
+	times, garbage := GarbageCurve(r)
+	if len(times) != 2 || times[0] > times[1] {
+		t.Fatalf("times not sorted: %v", times)
+	}
+	if garbage[0] != 10 || garbage[1] != 30 {
+		t.Fatalf("garbage = %v", garbage)
+	}
+	out := RenderGarbageCurve(r, 20)
+	if !strings.Contains(out, "max 30") {
+		t.Fatalf("garbage render = %q", out)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	names := map[EventKind]string{
+		KindBatchFree:     "batch_free",
+		KindFreeCall:      "free_call",
+		KindEpochAdvance:  "epoch_advance",
+		KindGarbageSample: "garbage",
+		EventKind(99):     "kind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+}
