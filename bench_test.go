@@ -53,6 +53,28 @@ func cfgFor(reclaimer string, threads int) bench.WorkloadConfig {
 	return cfg
 }
 
+// --- Scenario engine: every registered workload under batch and AF ---
+
+func BenchmarkScenarioBatch(b *testing.B) {
+	for _, name := range bench.Scenarios() {
+		b.Run(name, func(b *testing.B) {
+			cfg := cfgFor("debra", benchThreads)
+			cfg.Scenario = name
+			runWorkload(b, cfg)
+		})
+	}
+}
+
+func BenchmarkScenarioAmortized(b *testing.B) {
+	for _, name := range bench.Scenarios() {
+		b.Run(name, func(b *testing.B) {
+			cfg := cfgFor("debra_af", benchThreads)
+			cfg.Scenario = name
+			runWorkload(b, cfg)
+		})
+	}
+}
+
 // --- Figure 1: ABtree vs OCCtree under DEBRA and under leaking ---
 
 func BenchmarkFig1_ABtreeDebra(b *testing.B) { runWorkload(b, cfgFor("debra", benchThreads)) }

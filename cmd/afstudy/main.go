@@ -21,12 +21,13 @@ import (
 
 func main() {
 	var (
-		threads = flag.String("threads", "6,12,24,48,96,144,192", "thread sweep for experiment 1")
-		at      = flag.Int("at", 192, "thread count for experiment 2")
-		dur     = flag.Duration("dur", 300*time.Millisecond, "window per trial")
-		trials  = flag.Int("trials", 1, "trials per configuration")
-		dsName  = flag.String("ds", "abtree", "data structure")
-		batch   = flag.Int("batch", 2048, "limbo-bag batch size")
+		threads  = flag.String("threads", "6,12,24,48,96,144,192", "thread sweep for experiment 1")
+		at       = flag.Int("at", 192, "thread count for experiment 2")
+		dur      = flag.Duration("dur", 300*time.Millisecond, "window per trial")
+		trials   = flag.Int("trials", 1, "trials per configuration")
+		dsName   = flag.String("ds", "abtree", "data structure")
+		batch    = flag.Int("batch", 2048, "limbo-bag batch size")
+		scenario = flag.String("scenario", "paper", "workload scenario (see bench.Scenarios)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Trials:        *trials,
 		BatchSize:     *batch,
 		DataStructure: *dsName,
+		Scenario:      *scenario,
 	}
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -8,6 +8,7 @@
 //	epochbench -exp table2
 //	epochbench -exp exp1 -threads 6,12,24,48 -dur 300ms -trials 3
 //	epochbench -exp fig13 -keyrange 16384
+//	epochbench -exp exp2 -scenario zipf
 package main
 
 import (
@@ -32,15 +33,18 @@ func main() {
 		keyrange = flag.Int64("keyrange", 0, "key universe size (default 32768)")
 		batch    = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
 		dsName   = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
+		scenario = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
 		all      = flag.Bool("all", false, "run every registered experiment")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, id := range bench.ExperimentIDs() {
 			e, _ := bench.Get(id)
-			fmt.Printf("%-8s %s\n", id, e.Title)
+			fmt.Printf("  %-8s %s\n", id, e.Title)
 		}
+		fmt.Printf("\nscenarios: %s\n", strings.Join(bench.Scenarios(), ", "))
 		return
 	}
 
@@ -51,6 +55,7 @@ func main() {
 		KeyRange:      *keyrange,
 		BatchSize:     *batch,
 		DataStructure: *dsName,
+		Scenario:      *scenario,
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

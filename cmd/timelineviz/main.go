@@ -24,6 +24,7 @@ func main() {
 		allocator = flag.String("allocator", "jemalloc", "allocator model")
 		dsName    = flag.String("ds", "abtree", "data structure")
 		threads   = flag.Int("threads", 96, "simulated thread count")
+		scenario  = flag.String("scenario", "paper", "workload scenario (see bench.Scenarios)")
 		dur       = flag.Duration("dur", 300*time.Millisecond, "measured window")
 		keyrange  = flag.Int64("keyrange", 1<<15, "key universe size")
 		width     = flag.Int("width", 100, "timeline width in columns")
@@ -34,6 +35,7 @@ func main() {
 	flag.Parse()
 
 	cfg := bench.DefaultWorkload(*threads)
+	cfg.Scenario = *scenario
 	cfg.Reclaimer = *reclaimer
 	cfg.Allocator = *allocator
 	cfg.DataStructure = *dsName
@@ -58,8 +60,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%s / %s / %s, %d threads: %.0f ops/s, peak %.1f MiB, %d epochs, %%free %.1f\n",
-		*dsName, *reclaimer, *allocator, *threads,
+	fmt.Printf("%s / %s / %s / %s, %d threads: %.0f ops/s, peak %.1f MiB, %d epochs, %%free %.1f\n",
+		*scenario, *dsName, *reclaimer, *allocator, *threads,
 		tr.OpsPerSec, tr.PeakMiB, tr.SMR.Epochs, tr.PctFree)
 	fmt.Print(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
 		Width: *width, MaxRows: *rows, Kinds: ks,

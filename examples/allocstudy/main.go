@@ -2,10 +2,13 @@
 // it runs DEBRA (batch free) and DEBRA+AF (amortized free) on each of the
 // three allocator models and prints the Table 2/3-style comparison, showing
 // that amortized freeing helps jemalloc and tcmalloc but not mimalloc.
+// Pass a scenario name (see bench.Scenarios) as the first argument to rerun
+// the study under a different workload; the default is the paper's.
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -13,7 +16,11 @@ import (
 
 func main() {
 	const threads = 48
-	fmt.Printf("Remote-batch-free study: ABtree, %d threads, 50%% ins / 50%% del\n\n", threads)
+	scenario := "paper"
+	if len(os.Args) > 1 {
+		scenario = os.Args[1]
+	}
+	fmt.Printf("Remote-batch-free study: ABtree, %d threads, scenario %q\n\n", threads, scenario)
 	fmt.Printf("%-10s %-10s %12s %10s %8s %8s %8s\n",
 		"allocator", "freeing", "ops/s", "freed", "%free", "%flush", "%lock")
 	for _, allocator := range []string{"jemalloc", "tcmalloc", "mimalloc"} {
@@ -22,6 +29,7 @@ func main() {
 			{"amortized", "debra_af"},
 		} {
 			cfg := bench.DefaultWorkload(threads)
+			cfg.Scenario = scenario
 			cfg.Allocator = allocator
 			cfg.Reclaimer = rc.name
 			cfg.Duration = 300 * time.Millisecond

@@ -1,6 +1,7 @@
-// Quickstart: build a concurrent set over the simulated jemalloc model with
-// the paper's Amortized-free Token-EBR reclaimer, run a small mixed
-// workload, and print throughput and reclamation statistics.
+// Quickstart: assemble the experiment stack — simulated jemalloc model,
+// the paper's Amortized-free Token-EBR reclaimer, and a concurrent set —
+// with bench.StackBuilder, run a small mixed workload, and print throughput
+// and reclamation statistics.
 package main
 
 import (
@@ -8,29 +9,25 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/ds"
-	"repro/internal/simalloc"
-	"repro/internal/smr"
+	"repro/internal/bench"
 )
 
 func main() {
 	const threads = 8
 
-	// 1. The allocator substrate: jemalloc-like thread caches + arenas.
-	alloc := simalloc.NewJEMalloc(simalloc.DefaultConfig(threads))
-
-	// 2. The reclaimer: Token-EBR with amortized freeing (the paper's
-	//    headline algorithm, token_af).
-	rec, err := smr.New("token_af", smr.DefaultConfig(alloc, threads))
+	// Assemble the layered substrate: allocator (jemalloc-like thread
+	// caches + arenas), reclaimer (Token-EBR with amortized freeing, the
+	// paper's headline algorithm), and data structure (Brown-style ABtree
+	// with fat 240-byte nodes).
+	stack, err := bench.NewStackBuilder(threads).
+		Allocator("jemalloc").
+		Reclaimer("token_af").
+		DataStructure("abtree").
+		Build()
 	if err != nil {
 		panic(err)
 	}
-
-	// 3. The data structure: Brown-style ABtree with fat 240-byte nodes.
-	set, err := ds.New("abtree", alloc, rec)
-	if err != nil {
-		panic(err)
-	}
+	set := stack.Set
 
 	// Run a 50% insert / 50% delete workload.
 	const opsPerThread = 50000
@@ -60,16 +57,17 @@ func main() {
 		}(tid)
 	}
 	wg.Wait()
-	for tid := 0; tid < threads; tid++ {
-		rec.Drain(tid)
-	}
 
-	st := rec.Stats()
-	as := alloc.Stats()
+	// Teardown drains every thread's remaining limbo before the stats are
+	// read, so "nodes freed" includes the final drain.
+	stack.Close()
+
+	st := stack.Reclaimer.Stats()
+	as := stack.Alloc.Stats()
 	fmt.Printf("ops performed:     %d\n", total.Load())
 	fmt.Printf("set size:          %d\n", set.Size())
 	fmt.Printf("nodes retired:     %d\n", st.Retired)
 	fmt.Printf("nodes freed:       %d (epochs: %d)\n", st.Freed, st.Epochs)
 	fmt.Printf("allocator flushes: %d (remote frees: %d)\n", as.Flushes, as.RemoteFrees)
-	fmt.Printf("peak memory:       %.2f MiB\n", float64(alloc.PeakBytes())/(1<<20))
+	fmt.Printf("peak memory:       %.2f MiB\n", float64(stack.Alloc.PeakBytes())/(1<<20))
 }

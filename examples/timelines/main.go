@@ -1,10 +1,14 @@
 // Timelines records and renders the paper's timeline graphs (Section 3):
 // per-thread batch-free activity with epoch-change markers, side by side
 // for batch freeing and amortized freeing.
+// Pass a scenario name (see bench.Scenarios) as the first argument to
+// render the timelines under a different workload; the default is the
+// paper's.
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -13,6 +17,10 @@ import (
 
 func main() {
 	const threads = 48
+	scenario := "paper"
+	if len(os.Args) > 1 {
+		scenario = os.Args[1]
+	}
 	for _, rc := range []struct {
 		label, name string
 		kinds       []timeline.EventKind
@@ -21,6 +29,7 @@ func main() {
 		{"DEBRA + amortized free", "debra_af", []timeline.EventKind{timeline.KindFreeCall}},
 	} {
 		cfg := bench.DefaultWorkload(threads)
+		cfg.Scenario = scenario
 		cfg.Reclaimer = rc.name
 		cfg.Duration = 300 * time.Millisecond
 		cfg.Record = true

@@ -52,7 +52,7 @@ func runExp1(o Options) (string, error) {
 	o.fill()
 	names := smr.Experiment1Names()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Experiment 1 (Fig. 11a) — %s, 50%% ins / 50%% del, JEmalloc:\n", o.DataStructure)
+	fmt.Fprintf(&sb, "Experiment 1 (Fig. 11a) — %s, scenario %s, JEmalloc:\n", o.DataStructure, o.Scenario)
 	header := append([]string{"threads"}, names...)
 	tb := newTable(header...)
 	// Track per-reclaimer mean across thread counts for the paper's

@@ -1,0 +1,160 @@
+package bench
+
+import "math"
+
+// Key-distribution implementations for the scenario engine: uniform (the
+// paper's methodology), zipfian-skewed, and a shifting hotspot.
+
+// keySeed reproduces the seed harness's per-thread key-stream seed. The
+// "paper" scenario depends on this staying bit-identical to the original
+// RunTrial so the paper's tables and figures reproduce byte-for-byte.
+func keySeed(cfg *WorkloadConfig, tid int) uint64 {
+	return cfg.Seed + uint64(tid)*0xa0761d6478bd642f + 7
+}
+
+// uniformKeys draws keys uniformly from [0, KeyRange).
+type uniformKeys struct {
+	r        rng
+	keyRange int64
+}
+
+func newUniformKeys(cfg *WorkloadConfig, tid int) KeyDist {
+	return &uniformKeys{r: newRNG(keySeed(cfg, tid)), keyRange: cfg.KeyRange}
+}
+
+func (u *uniformKeys) Next() int64 { return u.r.intn(u.keyRange) }
+
+// zipfShared holds the per-trial zipfian constants. Computing zetan is
+// O(KeyRange); the scenario shares one table across all threads of a trial
+// (KeyDist construction is serial, see Workload).
+type zipfShared struct {
+	n                 int64
+	theta             float64
+	alpha, zetan, eta float64
+	zeta2             float64
+	mult              int64
+}
+
+func (z *zipfShared) init(n int64, theta float64) {
+	z.n, z.theta = n, theta
+	z.zeta2 = 1 + math.Pow(0.5, theta)
+	z.zetan = 0
+	for i := int64(1); i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.mult = scatterMult(n)
+}
+
+// scatterMult picks a multiplier near the golden-ratio point that is
+// coprime with n, so rank -> rank*mult mod n is a bijection (Fibonacci
+// hashing): hot ranks scatter across the keyspace and every rank maps to
+// a distinct key.
+func scatterMult(n int64) int64 {
+	m := int64(float64(n) * 0.6180339887498949)
+	if m < 1 {
+		m = 1
+	}
+	for gcd(m, n) != 1 {
+		m--
+	}
+	return m
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// zipfKeys draws ranks with the bounded zipfian sampler of Gray et al.
+// (the YCSB generator), then permutes ranks across the keyspace with the
+// shared multiplier so hot keys are not clustered in one subtree.
+type zipfKeys struct {
+	r      rng
+	shared *zipfShared
+}
+
+// newZipfKeysShared returns a KeyDist factory whose threads share one zeta
+// table per trial.
+func newZipfKeysShared() func(cfg *WorkloadConfig, tid int) KeyDist {
+	var shared zipfShared
+	return func(cfg *WorkloadConfig, tid int) KeyDist {
+		theta := cfg.ZipfTheta
+		if theta <= 0 || theta >= 1 {
+			theta = 0.99
+		}
+		if shared.n != cfg.KeyRange || shared.theta != theta {
+			shared.init(cfg.KeyRange, theta)
+		}
+		return &zipfKeys{r: newRNG(keySeed(cfg, tid)), shared: &shared}
+	}
+}
+
+func (z *zipfKeys) Next() int64 {
+	s := z.shared
+	// 53-bit uniform in [0,1).
+	u := float64(z.r.next()>>11) / (1 << 53)
+	uz := u * s.zetan
+	var rank int64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < s.zeta2:
+		rank = 1
+	default:
+		rank = int64(float64(s.n) * math.Pow(s.eta*u-s.eta+1, s.alpha))
+		if rank >= s.n {
+			rank = s.n - 1
+		}
+	}
+	return (rank * s.mult) % s.n
+}
+
+// hotspotKeys sends most operations into a contiguous hot range that
+// periodically shifts across the keyspace, modelling a moving working set.
+type hotspotKeys struct {
+	r          rng
+	keyRange   int64
+	hotSize    int64
+	shiftEvery int64
+	hotStart   int64
+	ops        int64
+}
+
+func newHotspotKeys(cfg *WorkloadConfig, tid int) KeyDist {
+	frac := cfg.HotFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 0.1
+	}
+	hotSize := int64(float64(cfg.KeyRange) * frac)
+	if hotSize < 1 {
+		hotSize = 1
+	}
+	shiftEvery := int64(cfg.HotShiftOps)
+	if shiftEvery <= 0 {
+		shiftEvery = cfg.KeyRange
+	}
+	return &hotspotKeys{
+		r:          newRNG(keySeed(cfg, tid)),
+		keyRange:   cfg.KeyRange,
+		hotSize:    hotSize,
+		shiftEvery: shiftEvery,
+	}
+}
+
+func (h *hotspotKeys) Next() int64 {
+	h.ops++
+	if h.ops%h.shiftEvery == 0 {
+		// All threads shift at the same per-thread op count, so the hot
+		// range moves in coordinated waves as in a rolling working set.
+		h.hotStart = (h.hotStart + h.hotSize) % h.keyRange
+	}
+	u := h.r.next()
+	if (u>>33)%10 != 0 { // 90% of accesses hit the hot range
+		return (h.hotStart + int64((u>>3)%uint64(h.hotSize))) % h.keyRange
+	}
+	return h.r.intn(h.keyRange)
+}

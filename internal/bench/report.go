@@ -28,6 +28,9 @@ type Options struct {
 	BatchSize int
 	// DataStructure overrides the default ABtree (fig13/14 use "dgtree").
 	DataStructure string
+	// Scenario selects the workload scenario (see Scenarios()); the
+	// default is "paper", the methodology every table and figure uses.
+	Scenario string
 }
 
 // DefaultOptions returns the scaled paper methodology.
@@ -40,6 +43,7 @@ func DefaultOptions() Options {
 		KeyRange:      1 << 15,
 		BatchSize:     2048,
 		DataStructure: "abtree",
+		Scenario:      "paper",
 	}
 }
 
@@ -66,6 +70,9 @@ func (o *Options) fill() {
 	if o.DataStructure == "" {
 		o.DataStructure = d.DataStructure
 	}
+	if o.Scenario == "" {
+		o.Scenario = d.Scenario
+	}
 }
 
 // workload builds the base WorkloadConfig for an options set.
@@ -75,6 +82,7 @@ func (o *Options) workload(threads int) WorkloadConfig {
 	cfg.KeyRange = o.KeyRange
 	cfg.BatchSize = o.BatchSize
 	cfg.DataStructure = o.DataStructure
+	cfg.Scenario = o.Scenario
 	return cfg
 }
 

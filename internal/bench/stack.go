@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/simalloc"
+	"repro/internal/smr"
+	"repro/internal/timeline"
+)
+
+// Stack is the assembled experiment substrate for one trial: a simulated
+// allocator, a reclaimer wired to it, a concurrent set on top, and an
+// optional timeline recorder threaded through all three. Build one with
+// NewStack (from a full WorkloadConfig) or with a StackBuilder, drive the
+// set, then Close it to release the remaining limbo.
+type Stack struct {
+	// Alloc is the simulated allocator at the bottom of the stack.
+	Alloc simalloc.Allocator
+	// Reclaimer frees retired nodes into Alloc.
+	Reclaimer smr.Reclaimer
+	// Set is the concurrent set the workload operates on.
+	Set ds.Set
+	// Recorder is non-nil when the configuration enabled recording.
+	Recorder *timeline.Recorder
+
+	cfg     WorkloadConfig
+	stopped atomic.Bool
+	closed  bool
+}
+
+// NewStack constructs the allocator, reclaimer and set for cfg.
+func NewStack(cfg WorkloadConfig) (*Stack, error) {
+	s := &Stack{cfg: cfg}
+
+	acfg := simalloc.DefaultConfig(cfg.Threads)
+	if cfg.Cost.ThreadsPerSocket != 0 {
+		acfg.Cost = cfg.Cost
+	}
+	if cfg.TCacheCap > 0 {
+		acfg.TCacheCap = cfg.TCacheCap
+	}
+	if cfg.FlushFraction > 0 {
+		acfg.FlushFraction = cfg.FlushFraction
+	}
+	if cfg.ArenasPerThread > 0 {
+		acfg.ArenasPerThread = cfg.ArenasPerThread
+	}
+	alloc, err := simalloc.New(cfg.Allocator, acfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PoolCapacity > 0 {
+		alloc = smr.NewPoolAllocator(alloc, cfg.PoolCapacity)
+	}
+	s.Alloc = alloc
+
+	if cfg.Record {
+		capEach := cfg.RecorderCap
+		if capEach <= 0 {
+			capEach = 100000
+		}
+		s.Recorder = timeline.NewRecorder(cfg.Threads, capEach)
+	}
+
+	rcfg := smr.DefaultConfig(alloc, cfg.Threads)
+	if cfg.BatchSize > 0 {
+		rcfg.BatchSize = cfg.BatchSize
+	}
+	if cfg.DrainRate > 0 {
+		rcfg.DrainRate = cfg.DrainRate
+	}
+	if cfg.TokenCheckK > 0 {
+		rcfg.TokenCheckK = cfg.TokenCheckK
+	}
+	if cfg.EraFreq > 0 {
+		rcfg.EraFreq = cfg.EraFreq
+	}
+	rcfg.Recorder = s.Recorder
+	rcfg.Stopped = s.stopped.Load
+	reclaimer, err := smr.New(cfg.Reclaimer, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Reclaimer = reclaimer
+
+	set, err := ds.New(cfg.DataStructure, alloc, reclaimer)
+	if err != nil {
+		return nil, err
+	}
+	s.Set = set
+	return s, nil
+}
+
+// Config returns the configuration the stack was built from.
+func (s *Stack) Config() WorkloadConfig { return s.cfg }
+
+// Stop ends the measured window: blocking grace-period waits inside the
+// reclaimer observe it and bail out, so worker goroutines cannot wedge.
+func (s *Stack) Stop() { s.stopped.Store(true) }
+
+// Stopped reports whether Stop (or Close) has been called. Worker loops
+// poll it as their exit condition.
+func (s *Stack) Stopped() bool { return s.stopped.Load() }
+
+// Snapshot captures the paper's metric surface — throughput, peak memory,
+// and the %free/%flush/%lock perf percentages — for a window that performed
+// ops operations in wall time. Take it before Close: the paper's accounting
+// is during-trial, before the final drain.
+func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
+	var res TrialResult
+	res.Scenario = s.cfg.Scenario
+	res.Ops = ops
+	res.Wall = wall
+	res.OpsPerSec = float64(ops) / wall.Seconds()
+	res.Alloc = s.Alloc.Stats()
+	res.SMR = s.Reclaimer.Stats()
+	res.PeakBytes = s.Alloc.PeakBytes()
+	res.PeakMiB = float64(res.PeakBytes) / (1 << 20)
+	res.PctFree = simalloc.PctOf(res.Alloc.FreeNanos, wall, s.cfg.Threads)
+	res.PctFlush = simalloc.PctOf(res.Alloc.FlushNanos, wall, s.cfg.Threads)
+	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, s.cfg.Threads)
+	res.Recorder = s.Recorder
+	return res
+}
+
+// Close tears the stack down: it stops the trial and drains every thread's
+// remaining limbo so the allocator's lifecycle checks stay clean. Close is
+// idempotent. Only call it after all worker goroutines have returned.
+func (s *Stack) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.Stop()
+	for tid := 0; tid < s.cfg.Threads; tid++ {
+		s.Reclaimer.Drain(tid)
+	}
+}
+
+// StackBuilder assembles a Stack fluently, starting from the scaled paper
+// defaults. It is the programmatic mirror of the WorkloadConfig fields:
+//
+//	st, err := bench.NewStackBuilder(8).
+//		Allocator("jemalloc").
+//		Reclaimer("token_af").
+//		DataStructure("abtree").
+//		Build()
+type StackBuilder struct {
+	cfg WorkloadConfig
+}
+
+// NewStackBuilder starts a builder from DefaultWorkload(threads).
+func NewStackBuilder(threads int) *StackBuilder {
+	return &StackBuilder{cfg: DefaultWorkload(threads)}
+}
+
+// Allocator selects the allocator model ("jemalloc", "tcmalloc", "mimalloc").
+func (b *StackBuilder) Allocator(name string) *StackBuilder {
+	b.cfg.Allocator = name
+	return b
+}
+
+// Reclaimer selects the reclaimer by smr registry name.
+func (b *StackBuilder) Reclaimer(name string) *StackBuilder {
+	b.cfg.Reclaimer = name
+	return b
+}
+
+// DataStructure selects the set by ds registry name.
+func (b *StackBuilder) DataStructure(name string) *StackBuilder {
+	b.cfg.DataStructure = name
+	return b
+}
+
+// Recording enables timeline recording with capEach events per thread
+// (<= 0 means the default capacity).
+func (b *StackBuilder) Recording(capEach int) *StackBuilder {
+	b.cfg.Record = true
+	b.cfg.RecorderCap = capEach
+	return b
+}
+
+// Configure applies an arbitrary edit to the underlying WorkloadConfig for
+// the long tail of knobs (batch size, cost model, ablation overrides, ...).
+func (b *StackBuilder) Configure(edit func(*WorkloadConfig)) *StackBuilder {
+	edit(&b.cfg)
+	return b
+}
+
+// Build assembles the stack.
+func (b *StackBuilder) Build() (*Stack, error) { return NewStack(b.cfg) }

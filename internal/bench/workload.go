@@ -1,10 +1,18 @@
 // Package bench is the experiment harness: it reproduces every table and
 // figure of "Are Your Epochs Too Epic?" over the simulated allocators
 // (package simalloc), the reclaimers (package smr) and the concurrent sets
-// (package ds), using the paper's methodology — prefill to the steady-state
-// size, then run a 50% insert / 50% delete workload over a uniform key
-// range for a fixed duration and report throughput, peak memory, and
-// allocator overhead percentages.
+// (package ds).
+//
+// The harness is layered. Stack assembly (Stack, NewStack, StackBuilder)
+// builds the allocator + reclaimer + set + recorder substrate for one
+// trial. The scenario engine (Workload, KeyDist, OpMix, and the scenario
+// registry behind Scenarios/NewScenario) decides what the simulated threads
+// do to that substrate: the paper's own methodology — prefill to the
+// steady-state size, then run a 50% insert / 50% delete workload over a
+// uniform key range — is the "paper" scenario, and further scenarios vary
+// the key distribution (zipfian, shifting hotspot) and the operation mix
+// (read-mostly, bursty). RunTrial composes the two layers and reports
+// throughput, peak memory, and allocator overhead percentages.
 package bench
 
 import (
@@ -22,6 +30,9 @@ import (
 
 // WorkloadConfig describes one trial.
 type WorkloadConfig struct {
+	// Scenario names the registered workload scenario (see Scenarios()).
+	// Empty means "paper", the seed methodology.
+	Scenario string
 	// DataStructure is "abtree", "occtree" or "dgtree".
 	DataStructure string
 	// Reclaimer is any name from smr.Names().
@@ -35,7 +46,7 @@ type WorkloadConfig struct {
 	// 1<<15.
 	KeyRange int64
 	// Duration is the measured window. The paper uses 5 s; the scaled
-	// default is 150 ms.
+	// default is 300 ms.
 	Duration time.Duration
 	// BatchSize, DrainRate, TokenCheckK, EraFreq feed smr.Config.
 	BatchSize, DrainRate, TokenCheckK, EraFreq int
@@ -64,12 +75,28 @@ type WorkloadConfig struct {
 	// nodes it allocated itself). Yielding every operation interleaves the
 	// threads the way hardware parallelism would. <0 disables.
 	YieldEvery int
+
+	// Scenario knobs; zero values mean the scenario defaults.
+
+	// ZipfTheta is the zipfian skew parameter in (0,1) for the "zipf*"
+	// scenarios (default 0.99, the YCSB constant).
+	ZipfTheta float64
+	// HotFraction is the hot range's share of the keyspace for the
+	// "hotspot" scenario (default 0.1); 90% of accesses land in it.
+	HotFraction float64
+	// HotShiftOps is how many per-thread ops pass between hotspot shifts
+	// (default KeyRange).
+	HotShiftOps int
+	// PhaseOps is the per-thread window length, in ops, of the "bursty"
+	// scenario's alternating churn and read phases (default 4096).
+	PhaseOps int
 }
 
 // DefaultWorkload returns the scaled-down version of the paper's
 // methodology for the given thread count.
 func DefaultWorkload(threads int) WorkloadConfig {
 	return WorkloadConfig{
+		Scenario:      "paper",
 		DataStructure: "abtree",
 		Reclaimer:     "debra",
 		Allocator:     "jemalloc",
@@ -90,6 +117,8 @@ func DefaultWorkload(threads int) WorkloadConfig {
 // measured window closed (before the final drain), matching the paper's
 // during-trial accounting.
 type TrialResult struct {
+	// Scenario is the workload scenario the trial ran.
+	Scenario string
 	// Ops and OpsPerSec are completed set operations in the window.
 	Ops       int64
 	OpsPerSec float64
@@ -132,65 +161,6 @@ func (r *rng) next() uint64 {
 // bits across xorshift steps.
 func (r *rng) intn(n int64) int64 { return int64((r.next() >> 17) % uint64(n)) }
 
-// buildStack constructs the allocator, reclaimer and set for cfg.
-func buildStack(cfg *WorkloadConfig, stopped *atomic.Bool) (simalloc.Allocator, smr.Reclaimer, ds.Set, *timeline.Recorder, error) {
-	acfg := simalloc.DefaultConfig(cfg.Threads)
-	if cfg.Cost.ThreadsPerSocket != 0 {
-		acfg.Cost = cfg.Cost
-	}
-	if cfg.TCacheCap > 0 {
-		acfg.TCacheCap = cfg.TCacheCap
-	}
-	if cfg.FlushFraction > 0 {
-		acfg.FlushFraction = cfg.FlushFraction
-	}
-	if cfg.ArenasPerThread > 0 {
-		acfg.ArenasPerThread = cfg.ArenasPerThread
-	}
-	alloc, err := simalloc.New(cfg.Allocator, acfg)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if cfg.PoolCapacity > 0 {
-		alloc = smr.NewPoolAllocator(alloc, cfg.PoolCapacity)
-	}
-
-	var rec *timeline.Recorder
-	if cfg.Record {
-		capEach := cfg.RecorderCap
-		if capEach <= 0 {
-			capEach = 100000
-		}
-		rec = timeline.NewRecorder(cfg.Threads, capEach)
-	}
-
-	rcfg := smr.DefaultConfig(alloc, cfg.Threads)
-	if cfg.BatchSize > 0 {
-		rcfg.BatchSize = cfg.BatchSize
-	}
-	if cfg.DrainRate > 0 {
-		rcfg.DrainRate = cfg.DrainRate
-	}
-	if cfg.TokenCheckK > 0 {
-		rcfg.TokenCheckK = cfg.TokenCheckK
-	}
-	if cfg.EraFreq > 0 {
-		rcfg.EraFreq = cfg.EraFreq
-	}
-	rcfg.Recorder = rec
-	rcfg.Stopped = stopped.Load
-	reclaimer, err := smr.New(cfg.Reclaimer, rcfg)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-
-	set, err := ds.New(cfg.DataStructure, alloc, reclaimer)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	return alloc, reclaimer, set, rec, nil
-}
-
 // prefill inserts random keys in parallel until the set holds half the key
 // range, the paper's steady-state size.
 func prefill(cfg *WorkloadConfig, set ds.Set) {
@@ -212,8 +182,9 @@ func prefill(cfg *WorkloadConfig, set ds.Set) {
 	wg.Wait()
 }
 
-// RunTrial executes one trial of the paper's microbenchmark: prefill, run
-// 50% inserts / 50% deletes on uniform random keys for Duration, snapshot.
+// RunTrial executes one trial: assemble the stack, prefill to the
+// steady-state size, run the configured scenario's per-thread key and
+// operation streams for Duration, snapshot, tear down.
 func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if cfg.Threads <= 0 {
 		return TrialResult{}, fmt.Errorf("bench: Threads must be positive")
@@ -221,12 +192,29 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if cfg.KeyRange < 2 {
 		return TrialResult{}, fmt.Errorf("bench: KeyRange must be >= 2")
 	}
-	var stopped atomic.Bool
-	alloc, reclaimer, set, rec, err := buildStack(&cfg, &stopped)
+	if cfg.Scenario == "" {
+		// Normalize before building the stack so TrialResult.Scenario
+		// reports the scenario that actually ran.
+		cfg.Scenario = "paper"
+	}
+	wl, err := NewScenario(cfg.Scenario)
 	if err != nil {
 		return TrialResult{}, err
 	}
-	prefill(&cfg, set)
+	st, err := NewStack(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	prefill(&cfg, st.Set)
+
+	// Per-thread streams are built serially, before the workers start, so
+	// scenarios may share memoized tables across threads without locking.
+	keys := make([]KeyDist, cfg.Threads)
+	mixes := make([]OpMix, cfg.Threads)
+	for tid := 0; tid < cfg.Threads; tid++ {
+		keys[tid] = wl.KeyDist(&cfg, tid)
+		mixes[tid] = wl.OpMix(&cfg, tid)
+	}
 
 	ops := make([]struct {
 		v int64
@@ -239,28 +227,25 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			// Key and coin come from independent streams: deriving both
-			// from one xorshift stream makes the coin a deterministic
-			// function of the key (the low output bits are a linear
-			// function of the previous state's low bits), which freezes
-			// the set at exactly half the key range with zero successful
-			// operations.
-			keyRNG := newRNG(cfg.Seed + uint64(tid)*0xa0761d6478bd642f + 7)
-			coinRNG := newRNG(cfg.Seed + uint64(tid)*0x8ebc6af09c88c6e3 + 5)
+			set := st.Set
+			kd, om := keys[tid], mixes[tid]
 			yieldEvery := cfg.YieldEvery
 			if yieldEvery == 0 {
 				yieldEvery = 1
 			}
 			local := int64(0)
-			for !stopped.Load() {
+			for !st.Stopped() {
 				// Check the stop flag every few ops to keep the window tight
 				// without a per-op atomic in the hot loop.
 				for i := 0; i < 8; i++ {
-					key := keyRNG.intn(cfg.KeyRange)
-					if coinRNG.next()&(1<<30) == 0 {
+					key := kd.Next()
+					switch om.Next() {
+					case OpInsert:
 						set.Insert(tid, key)
-					} else {
+					case OpDelete:
 						set.Delete(tid, key)
+					default:
+						set.Contains(tid, key)
 					}
 					local++
 					if yieldEvery > 0 && local%int64(yieldEvery) == 0 {
@@ -272,30 +257,19 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 		}(tid)
 	}
 	time.Sleep(cfg.Duration)
-	stopped.Store(true)
+	st.Stop()
 	wg.Wait()
 	wall := time.Since(start)
 
-	var res TrialResult
+	var total int64
 	for i := range ops {
-		res.Ops += atomic.LoadInt64(&ops[i].v)
+		total += atomic.LoadInt64(&ops[i].v)
 	}
-	res.Wall = wall
-	res.OpsPerSec = float64(res.Ops) / wall.Seconds()
-	res.Alloc = alloc.Stats()
-	res.SMR = reclaimer.Stats()
-	res.PeakBytes = alloc.PeakBytes()
-	res.PeakMiB = float64(res.PeakBytes) / (1 << 20)
-	res.PctFree = simalloc.PctOf(res.Alloc.FreeNanos, wall, cfg.Threads)
-	res.PctFlush = simalloc.PctOf(res.Alloc.FlushNanos, wall, cfg.Threads)
-	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, cfg.Threads)
-	res.Recorder = rec
+	res := st.Snapshot(total, wall)
 
 	// Hygiene: release remaining limbo so the allocator's lifecycle checks
 	// stay clean. Measurements above were taken first, as in the paper.
-	for tid := 0; tid < cfg.Threads; tid++ {
-		reclaimer.Drain(tid)
-	}
+	st.Close()
 	return res, nil
 }
 

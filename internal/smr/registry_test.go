@@ -1,0 +1,49 @@
+package smr
+
+import "testing"
+
+// TestNamesMatchFactories pins the two hand-maintained views of the
+// registry together: every name Names() advertises must construct, and
+// every registered factory must be advertised (the "token" alias for the
+// periodic variant is the one documented exception).
+func TestNamesMatchFactories(t *testing.T) {
+	aliases := map[string]bool{"token": true}
+
+	names := map[string]bool{}
+	for _, name := range Names() {
+		if names[name] {
+			t.Errorf("Names() lists %q twice", name)
+		}
+		names[name] = true
+		if _, ok := factories[name]; !ok {
+			t.Errorf("Names() lists %q but no factory is registered", name)
+		}
+	}
+	for name := range factories {
+		if !names[name] && !aliases[name] {
+			t.Errorf("factory %q is not listed in Names()", name)
+		}
+	}
+	for alias := range aliases {
+		if _, ok := factories[alias]; !ok {
+			t.Errorf("documented alias %q has no factory", alias)
+		}
+	}
+}
+
+// TestExperimentNamesRegistered keeps the curated experiment lists inside
+// the registry too.
+func TestExperimentNamesRegistered(t *testing.T) {
+	for _, name := range Experiment1Names() {
+		if _, ok := factories[name]; !ok {
+			t.Errorf("Experiment1Names lists unknown reclaimer %q", name)
+		}
+	}
+	for _, pair := range Experiment2Pairs() {
+		for _, name := range pair {
+			if _, ok := factories[name]; !ok {
+				t.Errorf("Experiment2Pairs lists unknown reclaimer %q", name)
+			}
+		}
+	}
+}
