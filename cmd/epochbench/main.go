@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,21 +24,60 @@ import (
 	"repro/internal/bench"
 )
 
+// main delegates to realMain so deferred cleanup — flushing the CPU profile,
+// writing the heap profile — runs on every exit path, including failed
+// experiments (os.Exit would skip the defers and truncate the profiles).
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		expID    = flag.String("exp", "", "experiment ID (see -list)")
-		list     = flag.Bool("list", false, "list available experiments")
-		threads  = flag.String("threads", "", "comma-separated thread sweep (default: paper counts)")
-		at       = flag.Int("at", 0, "thread count for single-point experiments (default 192)")
-		dur      = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
-		trials   = flag.Int("trials", 0, "trials per configuration (default 1)")
-		keyrange = flag.Int64("keyrange", 0, "key universe size (default 32768)")
-		batch    = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
-		dsName   = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
-		scenario = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
-		all      = flag.Bool("all", false, "run every registered experiment")
+		expID      = flag.String("exp", "", "experiment ID (see -list)")
+		list       = flag.Bool("list", false, "list available experiments")
+		threads    = flag.String("threads", "", "comma-separated thread sweep (default: paper counts)")
+		at         = flag.Int("at", 0, "thread count for single-point experiments (default 192)")
+		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
+		trials     = flag.Int("trials", 0, "trials per configuration (default 1)")
+		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
+		batch      = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
+		dsName     = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
+		scenario   = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
+		all        = flag.Bool("all", false, "run every registered experiment")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -45,7 +86,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", id, e.Title)
 		}
 		fmt.Printf("\nscenarios: %s\n", strings.Join(bench.Scenarios(), ", "))
-		return
+		return 0
 	}
 
 	opts := bench.Options{
@@ -62,38 +103,42 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
 				fmt.Fprintf(os.Stderr, "epochbench: bad thread count %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			opts.Threads = append(opts.Threads, n)
 		}
 	}
 
-	run := func(id string) {
+	run := func(id string) int {
 		e, ok := bench.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "epochbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		t0 := time.Now()
 		out, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "epochbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		return 0
 	}
 
 	switch {
 	case *all:
 		for _, id := range bench.ExperimentIDs() {
-			run(id)
+			if code := run(id); code != 0 {
+				return code
+			}
 		}
+		return 0
 	case *expID != "":
-		run(*expID)
+		return run(*expID)
 	default:
 		fmt.Fprintln(os.Stderr, "epochbench: pass -exp <id>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 }

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simalloc"
+)
+
+// BenchmarkRetireDrainCycle measures the full reclamation lifecycle per
+// operation: alloc → retire into the limbo bag → (eventual) free back into
+// the allocator, for a batch-freeing and an amortized-freeing reclaimer.
+func BenchmarkRetireDrainCycle(b *testing.B) {
+	for _, name := range []string{"debra", "debra_af", "token_af"} {
+		b.Run(name, func(b *testing.B) {
+			st, err := NewStackBuilder(1).
+				Reclaimer(name).
+				Configure(func(c *WorkloadConfig) { c.Cost = simalloc.Uniform() }).
+				Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, al := st.Reclaimer, st.Alloc
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.BeginOp(0)
+				o := al.Alloc(0, 64)
+				r.OnAlloc(0, o)
+				r.Retire(0, o)
+				r.EndOp(0)
+			}
+			b.StopTimer()
+			st.Close()
+		})
+	}
+}
+
+// benchmarkTrial runs short end-to-end trials; the recorded variant carries
+// the full timeline-stamping load on every free. The simops/s metric is the
+// simulated throughput and pct_host is the trial's own host-overhead
+// self-report.
+func benchmarkTrial(b *testing.B, record bool) {
+	cfg := DefaultWorkload(4)
+	cfg.Duration = 10 * time.Millisecond
+	cfg.KeyRange = 1 << 12
+	cfg.Record = record
+	var ops int64
+	var host float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += tr.Ops
+		host += tr.PctHostOverhead
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+	b.ReportMetric(host/float64(b.N), "pct_host")
+}
+
+func BenchmarkTrialUnrecorded(b *testing.B) { benchmarkTrial(b, false) }
+func BenchmarkTrialRecorded(b *testing.B)   { benchmarkTrial(b, true) }

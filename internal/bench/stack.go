@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/ds"
 	"repro/internal/simalloc"
 	"repro/internal/smr"
@@ -122,6 +123,17 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	res.PctFlush = simalloc.PctOf(res.Alloc.FlushNanos, wall, s.cfg.Threads)
 	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, s.cfg.Threads)
 	res.Recorder = s.Recorder
+
+	// Host-overhead self-report (see TrialResult): an estimate of the clock
+	// stamps the hot paths took, times the calibrated read cost. Recorded
+	// frees cost ~one chained stamp each (none once a buffer fills); Mark
+	// events use the coarse clock and cost no reads.
+	res.HostClockReads = 2*(res.Alloc.Allocs+res.Alloc.Frees) + 7*res.Alloc.Flushes
+	if s.Recorder != nil {
+		res.HostClockReads += res.SMR.Freed
+	}
+	res.HostOverheadNanos = int64(float64(res.HostClockReads) * clock.ReadCostNs())
+	res.PctHostOverhead = simalloc.PctOf(res.HostOverheadNanos, wall, s.cfg.Threads)
 	return res
 }
 

@@ -133,6 +133,17 @@ type TrialResult struct {
 	// of total thread-time spent in free, in cache flushes, and blocked on
 	// allocator locks.
 	PctFree, PctFlush, PctLock float64
+	// Host-overhead self-report: how much wall time the harness spent on
+	// measurement itself rather than modeled work. HostClockReads is an
+	// estimated stamp count derived from allocator and recorder activity
+	// (two stamps per alloc/free, ~7 per flush slow path, ~one per recorded
+	// free call); HostOverheadNanos multiplies it by the calibrated cost of
+	// one clock read, and PctHostOverhead expresses that as a share of
+	// available thread-time, comparable with PctFree/PctFlush/PctLock. Use
+	// it to judge how much the measurement tax dilutes the modeled numbers.
+	HostClockReads    int64
+	HostOverheadNanos int64
+	PctHostOverhead   float64
 	// Wall is the actual measured-window duration.
 	Wall time.Duration
 	// Recorder holds timeline events when recording was enabled.

@@ -1,0 +1,91 @@
+// Package clock is the cheap monotonic time source used on the simulator's
+// hot paths.
+//
+// The harness measures where thread-time goes (free vs flush vs lock), and
+// every stamp it takes is *host* overhead that dilutes the modeled costs:
+// time.Now reads both the wall and the monotonic clock and moves a
+// three-word struct, and time.Time arithmetic re-checks the monotonic bit on
+// every Sub. This package exposes the same monotonic scale as plain int64
+// nanoseconds:
+//
+//   - Now is a single monotonic read (time.Since on a monotonic base
+//     compiles down to one runtime nanotime call), roughly half the cost of
+//     time.Now, and differences are plain integer subtraction.
+//   - Coarse is an atomic load of a cached stamp refreshed in the
+//     background, for stats-only call sites (epoch dots, garbage samples)
+//     where ~CoarseResolution of staleness is invisible in the output.
+//
+// Accuracy contract: Now values are monotonic nanoseconds since process
+// start, comparable across goroutines. Coarse values come from the same
+// scale and never run ahead of Now; while the refresher is running they lag
+// it by at most ~CoarseResolution plus scheduler delay, and before
+// EnsureCoarse has been called Coarse falls back to a precise read.
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// base anchors the monotonic scale at package init.
+var base = time.Now()
+
+// Now returns monotonic nanoseconds since process start in a single
+// monotonic-clock read.
+func Now() int64 { return int64(time.Since(base)) }
+
+// CoarseResolution is the refresh period of the cached coarse clock.
+const CoarseResolution = 100 * time.Microsecond
+
+var (
+	coarse     atomic.Int64
+	coarseOnce sync.Once
+)
+
+// EnsureCoarse starts the background refresher that keeps Coarse within
+// ~CoarseResolution of Now. Idempotent; the refresher runs for the rest of
+// the process (its cost is one atomic store per period).
+func EnsureCoarse() {
+	coarseOnce.Do(func() {
+		coarse.Store(Now())
+		go func() {
+			for {
+				time.Sleep(CoarseResolution)
+				coarse.Store(Now())
+			}
+		}()
+	})
+}
+
+// Coarse returns the cached stamp — one atomic load — when the refresher is
+// running, and a precise read otherwise. Coarse never exceeds Now.
+func Coarse() int64 {
+	if c := coarse.Load(); c != 0 {
+		return c
+	}
+	return Now()
+}
+
+// readCostNs is the calibrated host cost of one Now call, measured at init.
+var readCostNs float64
+
+func init() {
+	const probe = 4096
+	t0 := Now()
+	var sink int64
+	for i := 0; i < probe; i++ {
+		sink += Now()
+	}
+	elapsed := Now() - t0
+	_ = sink
+	readCostNs = float64(elapsed) / probe
+	if readCostNs < 1 {
+		readCostNs = 1
+	}
+}
+
+// ReadCostNs reports the calibrated host cost, in nanoseconds, of one Now
+// call. The bench harness multiplies it by stamp counts to estimate how much
+// wall time a trial spent on measurement itself.
+func ReadCostNs() float64 { return readCostNs }

@@ -1,0 +1,72 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %d then %d", a, b)
+	}
+	time.Sleep(time.Millisecond)
+	if c := Now(); c-a < int64(time.Millisecond) {
+		t.Fatalf("Now advanced %dns over a 1ms sleep", c-a)
+	}
+}
+
+func TestCoarseNeverAheadOfNow(t *testing.T) {
+	EnsureCoarse()
+	for i := 0; i < 1000; i++ {
+		c := Coarse()
+		n := Now()
+		if c > n {
+			t.Fatalf("Coarse %d ran ahead of Now %d", c, n)
+		}
+	}
+}
+
+func TestCoarseTracksNow(t *testing.T) {
+	EnsureCoarse()
+	// Give the refresher a few periods; then the cached stamp must be
+	// recent (generously bounded to tolerate CI scheduling).
+	time.Sleep(10 * CoarseResolution)
+	if lag := Now() - Coarse(); lag > int64(time.Second) {
+		t.Fatalf("Coarse lags Now by %dns", lag)
+	}
+}
+
+func TestReadCostCalibrated(t *testing.T) {
+	if c := ReadCostNs(); c < 1 || c > 1e6 {
+		t.Fatalf("ReadCostNs = %v, outside sane bounds", c)
+	}
+}
+
+func BenchmarkNow(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += Now()
+	}
+	_ = sink
+}
+
+// BenchmarkTimeNow is the baseline Now replaces: a wall+monotonic read into
+// a time.Time.
+func BenchmarkTimeNow(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += time.Now().UnixNano()
+	}
+	_ = sink
+}
+
+func BenchmarkCoarse(b *testing.B) {
+	EnsureCoarse()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += Coarse()
+	}
+	_ = sink
+}

@@ -3,6 +3,8 @@ package simalloc
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Lock-contention model.
@@ -31,9 +33,10 @@ type binClock struct {
 const maxQueueNs = 20 * int64(time.Millisecond)
 
 // reserve books holdNs of bin time and returns the queueing delay the
-// caller must burn before proceeding.
+// caller must burn before proceeding. Timestamps are clock.Now values; only
+// differences between them matter, so the scale's origin is irrelevant.
 func (b *binClock) reserve(holdNs int64) (queueNs int64) {
-	now := time.Now().UnixNano()
+	now := clock.Now()
 	for {
 		cur := b.until.Load()
 		start := now
@@ -56,9 +59,9 @@ var nsPerSpinUnit int64 = 1
 
 func init() {
 	const probe = 1 << 16
-	t0 := time.Now()
+	t0 := clock.Now()
 	spinWork(0, probe)
-	per := time.Since(t0).Nanoseconds() / probe
+	per := (clock.Now() - t0) / probe
 	if per < 1 {
 		per = 1
 	}
@@ -69,14 +72,17 @@ func init() {
 }
 
 // burnQueue spends the queueing delay as spin work attributable to tid and
-// returns the time actually burned (recorded as lock-wait time).
+// returns the time actually burned (recorded as lock-wait time). One clock
+// read per spin round; the final read doubles as the return value.
 func burnQueue(tid int, queueNs int64) int64 {
 	if queueNs <= 0 {
 		return 0
 	}
-	t0 := time.Now()
-	for time.Since(t0).Nanoseconds() < queueNs {
+	t0 := clock.Now()
+	now := t0
+	for now-t0 < queueNs {
 		spinWork(tid, 64)
+		now = clock.Now()
 	}
-	return time.Since(t0).Nanoseconds()
+	return now - t0
 }

@@ -3,7 +3,8 @@ package simalloc
 import (
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/clock"
 )
 
 // JEMalloc models jemalloc 5.x's small-object path as described in the
@@ -27,6 +28,11 @@ type JEMalloc struct {
 	arenas []jeArena
 	caches []jeTCache
 	nextID atomic.Uint64
+
+	// flushHoldProbe, when non-nil, observes every flush's virtual lock-hold
+	// reservation (arena, hold ns) before it is booked. Test instrumentation
+	// for pinning the modeled-cost formula; nil in production.
+	flushHoldProbe func(arena int32, holdNs int64)
 }
 
 type jeArena struct {
@@ -47,9 +53,23 @@ type jeTCacheBin struct {
 
 type jeTCache struct {
 	bins [NumSizeClasses]jeTCacheBin
-	// scratch is reused by flushes to hold the batch being returned.
-	scratch []*Object
-	_       [8]int64
+	// Flush scratch: the batch being returned, grouped by destination arena
+	// in one pass. arenaSlot maps an arena index to its group for the
+	// current flush; arenaSeen stamps which slots are valid for flushSeq, so
+	// grouping needs no per-flush clearing.
+	groups    []jeFlushGroup
+	arenaSlot []int32
+	arenaSeen []uint32
+	flushSeq  uint32
+	_         [8]int64
+}
+
+// jeFlushGroup is one destination arena's share of a flushed batch: a FIFO
+// chain through Object.next that preserves batch order.
+type jeFlushGroup struct {
+	arena      int32
+	n          int
+	head, tail *Object
 }
 
 // NewJEMalloc constructs the jemalloc model for cfg.
@@ -67,7 +87,8 @@ func NewJEMalloc(cfg Config) *JEMalloc {
 		a.arenas[i].homeSocket = cfg.Cost.Socket(i / cfg.ArenasPerThread)
 	}
 	for i := range a.caches {
-		a.caches[i].scratch = make([]*Object, 0, cfg.TCacheCap)
+		a.caches[i].arenaSlot = make([]int32, len(a.arenas))
+		a.caches[i].arenaSeen = make([]uint32, len(a.arenas))
 	}
 	return a
 }
@@ -88,7 +109,7 @@ func (a *JEMalloc) homeArena(tid int) int32 {
 // Alloc serves tid from its tcache, refilling from the home arena bin on
 // miss and mapping a fresh page run when the bin is also empty.
 func (a *JEMalloc) Alloc(tid int, size int) *Object {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	tc := &a.caches[tid].bins[class]
@@ -101,7 +122,7 @@ func (a *JEMalloc) Alloc(tid int, size int) *Object {
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += time.Since(t0).Nanoseconds()
+	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -115,9 +136,9 @@ func (a *JEMalloc) refill(tid int, class uint8, tc *jeTCacheBin) {
 	hold := int64(touch+a.cfg.FillCount*a.cfg.Cost.PerObjectAlloc) * nsPerSpinUnit
 	ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
 	spinWork(tid, touch)
-	l0 := time.Now()
+	l0 := clock.Now()
 	bin.mu.Lock()
-	ts.lockNanos += time.Since(l0).Nanoseconds()
+	ts.lockNanos += clock.Now() - l0
 	got := 0
 	for got < a.cfg.FillCount {
 		o := bin.list.pop()
@@ -154,7 +175,7 @@ func (a *JEMalloc) refill(tid int, class uint8, tc *jeTCacheBin) {
 // Free pushes o into tid's tcache and flushes ~FlushFraction of the cache
 // when it overflows, following je_tcache_bin_flush_small.
 func (a *JEMalloc) Free(tid int, o *Object) {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	tc := &a.caches[tid].bins[o.Class]
@@ -164,7 +185,7 @@ func (a *JEMalloc) Free(tid int, o *Object) {
 	if tc.list.len() > a.cfg.TCacheCap {
 		a.flush(tid, o.Class, tc)
 	}
-	ts.freeNanos += time.Since(t0).Nanoseconds()
+	ts.freeNanos += clock.Now() - t0
 }
 
 // flush returns FlushFraction of the tcache bin to the owning arena bins.
@@ -172,8 +193,17 @@ func (a *JEMalloc) Free(tid int, o *Object) {
 // the bin of the first object, then iterate over the entire batch while
 // holding the lock, returning every object that belongs to that bin; repeat
 // until the batch is empty.
+//
+// The *modeled* cost is exactly that structure — each round's virtual lock
+// hold covers a walk of the whole batch (touch + matched*perObj + n*2) — but
+// the *host* work is O(n): the batch is grouped by destination arena in one
+// pass instead of rescanning the remaining batch once per round. Groups are
+// created in first-appearance order and each group chain preserves batch
+// order, so bins are locked in the same sequence and receive the same
+// objects in the same order as the scan-per-round structure; the modeled
+// statistics are bit-identical (pinned by TestFlushGroupingInvariance).
 func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
-	f0 := time.Now()
+	f0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	ts.flushes++
 
@@ -181,63 +211,74 @@ func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
 	if n > tc.list.len() {
 		n = tc.list.len()
 	}
-	batch := a.caches[tid].scratch[:0]
+
+	cache := &a.caches[tid]
+	cache.flushSeq++
+	if cache.flushSeq == 0 { // stamp wraparound: invalidate every slot
+		clear(cache.arenaSeen)
+		cache.flushSeq = 1
+	}
+	groups := cache.groups[:0]
 	for i := 0; i < n; i++ {
-		batch = append(batch, tc.list.pop())
+		o := tc.list.pop()
+		ar := o.Arena
+		if cache.arenaSeen[ar] != cache.flushSeq {
+			cache.arenaSeen[ar] = cache.flushSeq
+			cache.arenaSlot[ar] = int32(len(groups))
+			groups = append(groups, jeFlushGroup{arena: ar})
+		}
+		g := &groups[cache.arenaSlot[ar]]
+		if g.tail == nil {
+			g.head = o
+		} else {
+			g.tail.next = o
+		}
+		g.tail = o
+		g.n++
 	}
 
 	myArena := a.homeArena(tid)
-	for done := 0; done < len(batch); {
-		// Find the first unreturned object; its arena's bin is locked next.
-		var first *Object
-		matched := 0
-		for _, o := range batch {
-			if o == nil {
-				continue
-			}
-			if first == nil {
-				first = o
-			}
-			if o.Arena == first.Arena {
-				matched++
-			}
-		}
-		arena := &a.arenas[first.Arena]
+	for gi := range groups {
+		g := &groups[gi]
+		arena := &a.arenas[g.arena]
 		bin := &arena.bins[class]
 
 		// Remote bins pay the NUMA factor on both the lock touch and the
 		// per-object bookkeeping done while holding the lock.
 		touch := a.cfg.Cost.TouchCost(tid, arena.homeSocket)
 		perObj := a.cfg.Cost.PerObjectFree
-		if int32(myArena) != first.Arena {
+		if myArena != g.arena {
 			perObj *= a.cfg.Cost.RemoteFactor
 		}
 		// The lock is (virtually) held while scanning the entire batch and
 		// returning every matching object — the je_tcache_bin_flush_small
 		// structure that makes large flushes convoy.
-		hold := int64(touch+matched*perObj+len(batch)*2) * nsPerSpinUnit
+		hold := int64(touch+g.n*perObj+n*2) * nsPerSpinUnit
+		if a.flushHoldProbe != nil {
+			a.flushHoldProbe(g.arena, hold)
+		}
 		ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
 
 		spinWork(tid, touch)
-		l0 := time.Now()
+		l0 := clock.Now()
 		bin.mu.Lock()
-		ts.lockNanos += time.Since(l0).Nanoseconds()
-		for i, o := range batch {
-			if o == nil || o.Arena != first.Arena {
-				continue
-			}
+		ts.lockNanos += clock.Now() - l0
+		remote := g.arena != myArena
+		for o := g.head; o != nil; {
+			next := o.next
+			o.next = nil
 			spinWork(tid, perObj)
 			bin.list.push(o)
-			batch[i] = nil
-			done++
-			if o.Arena != myArena {
+			if remote {
 				ts.remoteFrees++
 			}
+			o = next
 		}
 		bin.mu.Unlock()
+		g.head, g.tail = nil, nil // drop object references from the scratch
 	}
-	a.caches[tid].scratch = batch[:0]
-	ts.flushNanos += time.Since(f0).Nanoseconds()
+	cache.groups = groups[:0]
+	ts.flushNanos += clock.Now() - f0
 }
 
 // FlushThreadCaches returns every cached object to its arena bin without

@@ -2,7 +2,8 @@ package simalloc
 
 import (
 	"sync/atomic"
-	"time"
+
+	"repro/internal/clock"
 )
 
 // Page is a mimalloc-style page: a run of same-class objects owned by one
@@ -60,7 +61,7 @@ func (a *MIMalloc) Threads() int { return a.cfg.Threads }
 // and cross-thread free lists on miss, rotating through owned pages, and
 // finally mapping a fresh page.
 func (a *MIMalloc) Alloc(tid int, size int) *Object {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	h := &a.heaps[tid]
@@ -73,7 +74,7 @@ func (a *MIMalloc) Alloc(tid int, size int) *Object {
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += time.Since(t0).Nanoseconds()
+	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -135,7 +136,7 @@ func (a *MIMalloc) freshPage(tid int, class uint8, h *miHeap) *Object {
 // There is no batch flush anywhere on this path, which is why amortized
 // freeing cannot help mimalloc.
 func (a *MIMalloc) Free(tid int, o *Object) {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	ts.frees++
@@ -154,7 +155,7 @@ func (a *MIMalloc) Free(tid int, o *Object) {
 			}
 		}
 	}
-	ts.freeNanos += time.Since(t0).Nanoseconds()
+	ts.freeNanos += clock.Now() - t0
 }
 
 // FlushThreadCaches is a no-op: mimalloc has no thread caches separate from

@@ -3,7 +3,8 @@ package simalloc
 import (
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/clock"
 )
 
 // TCMalloc models tcmalloc's small-object path (appendix B of the paper):
@@ -65,7 +66,7 @@ func (a *TCMalloc) Threads() int { return a.cfg.Threads }
 // Alloc serves from the thread cache, refilling a batch from the central
 // free list (under its lock) on miss.
 func (a *TCMalloc) Alloc(tid int, size int) *Object {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	tc := &a.caches[tid].bins[class]
@@ -78,7 +79,7 @@ func (a *TCMalloc) Alloc(tid int, size int) *Object {
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += time.Since(t0).Nanoseconds()
+	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -90,9 +91,9 @@ func (a *TCMalloc) refill(tid int, class uint8, tc *objList) {
 	hold := int64(touch+a.cfg.FillCount*a.cfg.Cost.PerObjectAlloc) * nsPerSpinUnit
 	ts.lockNanos += burnQueue(tid, central.clock.reserve(hold))
 	spinWork(tid, touch)
-	l0 := time.Now()
+	l0 := clock.Now()
 	central.mu.Lock()
-	ts.lockNanos += time.Since(l0).Nanoseconds()
+	ts.lockNanos += clock.Now() - l0
 	got := 0
 	for got < a.cfg.FillCount {
 		o := central.list.pop()
@@ -125,7 +126,7 @@ func (a *TCMalloc) refill(tid int, class uint8, tc *objList) {
 // Free pushes into the thread cache; on overflow a batch moves to the
 // central free list under the per-class global lock.
 func (a *TCMalloc) Free(tid int, o *Object) {
-	t0 := time.Now()
+	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	tc := &a.caches[tid].bins[o.Class]
@@ -135,14 +136,14 @@ func (a *TCMalloc) Free(tid int, o *Object) {
 	if tc.len() > a.cfg.TCacheCap {
 		a.spill(tid, o.Class, tc)
 	}
-	ts.freeNanos += time.Since(t0).Nanoseconds()
+	ts.freeNanos += clock.Now() - t0
 }
 
 // spill moves FlushFraction of the cache to the central list while holding
 // the central lock for the entire batch, mirroring tcmalloc's
 // ReleaseToCentralCache.
 func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
-	f0 := time.Now()
+	f0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	ts.flushes++
 
@@ -159,9 +160,9 @@ func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
 	hold := int64(touch+n*perObj) * nsPerSpinUnit
 	ts.lockNanos += burnQueue(tid, central.clock.reserve(hold))
 	spinWork(tid, touch)
-	l0 := time.Now()
+	l0 := clock.Now()
 	central.mu.Lock()
-	ts.lockNanos += time.Since(l0).Nanoseconds()
+	ts.lockNanos += clock.Now() - l0
 	for i := 0; i < n; i++ {
 		o := tc.pop()
 		spinWork(tid, perObj)
@@ -171,7 +172,7 @@ func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
 		}
 	}
 	central.mu.Unlock()
-	ts.flushNanos += time.Since(f0).Nanoseconds()
+	ts.flushNanos += clock.Now() - f0
 }
 
 // FlushThreadCaches returns every cached object to the central lists.

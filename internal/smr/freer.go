@@ -1,8 +1,7 @@
 package smr
 
 import (
-	"time"
-
+	"repro/internal/clock"
 	"repro/internal/simalloc"
 	"repro/internal/timeline"
 )
@@ -42,22 +41,23 @@ func (b *batchFreer) freeBatch(tid int, batch []*simalloc.Object) {
 		return
 	}
 	e := b.e
-	t0 := time.Now()
-	if e.rec != nil {
-		for _, o := range batch {
-			c0 := time.Now()
-			e.alloc.Free(tid, o)
-			e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
-		}
-	} else {
+	if e.rec == nil {
 		for _, o := range batch {
 			e.alloc.Free(tid, o)
 		}
+		e.noteFree(tid, int64(len(batch)))
+		return
+	}
+	// Chained stamps: each free call's end stamp is the next call's start,
+	// so the recorded path costs one clock read per object, not two.
+	t0 := clock.Now()
+	c := t0
+	for _, o := range batch {
+		e.alloc.Free(tid, o)
+		c = e.rec.RecordFreeCall(tid, c, 1)
 	}
 	e.noteFree(tid, int64(len(batch)))
-	if e.rec != nil {
-		e.rec.Record(tid, timeline.KindBatchFree, t0, time.Now(), int64(len(batch)))
-	}
+	e.rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
 }
 
 func (b *batchFreer) pump(int)       {}
@@ -76,6 +76,10 @@ func (q *afQueue) push(batch []*simalloc.Object) {
 	// Compact the consumed prefix when it dominates the slice.
 	if q.head > len(q.objs)/2 && q.head > 1024 {
 		n := copy(q.objs, q.objs[q.head:])
+		// Nil the vacated tail: without this the backing array keeps
+		// referencing objects that were already handed to the allocator,
+		// pinning them for the host GC as long as the queue lives.
+		clear(q.objs[n:])
 		q.objs = q.objs[:n]
 		q.head = 0
 	}
@@ -123,17 +127,40 @@ func (a *amortizedFreer) freeBatch(tid int, batch []*simalloc.Object) {
 func (a *amortizedFreer) pump(tid int) {
 	e := a.e
 	q := &a.queues[tid]
+	if e.rec == nil {
+		// Unrecorded fast path: no stamps at all.
+		n := int64(0)
+		for i := 0; i < a.rate; i++ {
+			o := q.pop()
+			if o == nil {
+				break
+			}
+			e.alloc.Free(tid, o)
+			n++
+		}
+		if n > 0 {
+			e.noteFree(tid, n)
+		}
+		return
+	}
+	// Stamp lazily: a pump that finds the queue empty — the common case in
+	// read-heavy steady states — must cost no clock reads at all.
+	c := int64(-1)
+	n := int64(0)
 	for i := 0; i < a.rate; i++ {
 		o := q.pop()
 		if o == nil {
-			return
+			break
 		}
-		c0 := time.Now()
+		if c < 0 {
+			c = clock.Now()
+		}
 		e.alloc.Free(tid, o)
-		if e.rec != nil {
-			e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
-		}
-		e.noteFree(tid, 1)
+		c = e.rec.RecordFreeCall(tid, c, 1)
+		n++
+	}
+	if n > 0 {
+		e.noteFree(tid, n)
 	}
 }
 

@@ -25,7 +25,11 @@ type HE struct {
 
 type heThread struct {
 	retired []*simalloc.Object
-	_       [4]int64
+	// freeable and eras are scan scratch, reused so steady-state scans
+	// allocate nothing.
+	freeable []*simalloc.Object
+	eras     []int64
+	_        [4]int64
 }
 
 // NewHE constructs hazard eras; af selects the amortized-free variant.
@@ -109,12 +113,13 @@ func (h *HE) Retire(tid int, o *simalloc.Object) {
 func (h *HE) scan(tid int) {
 	me := &h.th[tid]
 	// Snapshot reservations once; O(threads × slots).
-	reserved := make([]int64, 0, len(h.slots))
+	reserved := me.eras[:0]
 	for i := range h.slots {
 		if e := h.slots[i].v.Load(); e >= 0 {
 			reserved = append(reserved, e)
 		}
 	}
+	me.eras = reserved[:0]
 	conflict := func(o *simalloc.Object) bool {
 		for _, e := range reserved {
 			if uint64(e) >= o.BirthEra && uint64(e) <= o.RetireEra {
@@ -124,7 +129,7 @@ func (h *HE) scan(tid int) {
 		return false
 	}
 	keep := me.retired[:0]
-	var freeable []*simalloc.Object
+	freeable := me.freeable[:0]
 	for _, o := range me.retired {
 		if conflict(o) {
 			keep = append(keep, o)
@@ -135,6 +140,8 @@ func (h *HE) scan(tid int) {
 	me.retired = keep
 	h.e.epochs.Add(1)
 	h.f.freeBatch(tid, freeable)
+	clear(freeable) // freed objects must not stay reachable from the scratch
+	me.freeable = freeable[:0]
 	h.e.sampleGarbage(tid)
 }
 

@@ -21,7 +21,10 @@ type HP struct {
 type hpThread struct {
 	retired []*simalloc.Object
 	scratch map[*simalloc.Object]struct{}
-	_       [4]int64
+	// freeable is the scan's output batch, reused across scans so the
+	// steady state allocates nothing.
+	freeable []*simalloc.Object
+	_        [4]int64
 }
 
 // NewHP constructs hazard pointers; af selects the amortized-free variant.
@@ -86,7 +89,7 @@ func (h *HP) scan(tid int) {
 		}
 	}
 	keep := me.retired[:0]
-	var freeable []*simalloc.Object
+	freeable := me.freeable[:0]
 	for _, o := range me.retired {
 		if _, hazard := me.scratch[o]; hazard {
 			keep = append(keep, o)
@@ -97,6 +100,8 @@ func (h *HP) scan(tid int) {
 	me.retired = keep
 	h.e.epochs.Add(1) // count scan rounds as "epochs" for reporting
 	h.f.freeBatch(tid, freeable)
+	clear(freeable) // freed objects must not stay reachable from the scratch
+	me.freeable = freeable[:0]
 	h.e.sampleGarbage(tid)
 }
 

@@ -21,8 +21,15 @@ type IBR struct {
 
 type ibrThread struct {
 	retired []*simalloc.Object
-	_       [4]int64
+	// freeable and ivs are scan scratch, reused so steady-state scans
+	// allocate nothing.
+	freeable []*simalloc.Object
+	ivs      []ibrInterval
+	_        [4]int64
 }
+
+// ibrInterval is one thread's reservation snapshot taken during a scan.
+type ibrInterval struct{ lo, hi int64 }
 
 // NewIBR constructs 2GE-IBR; af selects the amortized-free variant.
 func NewIBR(cfg Config, af bool) *IBR {
@@ -92,15 +99,15 @@ func (i *IBR) Retire(tid int, o *simalloc.Object) {
 // scan frees retired objects disjoint from all reservation intervals.
 func (i *IBR) scan(tid int) {
 	me := &i.th[tid]
-	type iv struct{ lo, hi int64 }
-	reserved := make([]iv, 0, i.e.cfg.Threads)
+	reserved := me.ivs[:0]
 	for t := 0; t < i.e.cfg.Threads; t++ {
 		lo := i.lower[t].v.Load()
 		hi := i.upper[t].v.Load()
 		if lo >= 0 {
-			reserved = append(reserved, iv{lo, hi})
+			reserved = append(reserved, ibrInterval{lo, hi})
 		}
 	}
+	me.ivs = reserved[:0]
 	conflict := func(o *simalloc.Object) bool {
 		for _, r := range reserved {
 			if uint64(r.hi) >= o.BirthEra && uint64(r.lo) <= o.RetireEra {
@@ -110,7 +117,7 @@ func (i *IBR) scan(tid int) {
 		return false
 	}
 	keep := me.retired[:0]
-	var freeable []*simalloc.Object
+	freeable := me.freeable[:0]
 	for _, o := range me.retired {
 		if conflict(o) {
 			keep = append(keep, o)
@@ -121,6 +128,8 @@ func (i *IBR) scan(tid int) {
 	me.retired = keep
 	i.e.epochs.Add(1)
 	i.f.freeBatch(tid, freeable)
+	clear(freeable) // freed objects must not stay reachable from the scratch
+	me.freeable = freeable[:0]
 	i.e.sampleGarbage(tid)
 }
 

@@ -471,6 +471,34 @@ func TestAFQueueRingCompaction(t *testing.T) {
 	}
 }
 
+func TestAFQueueCompactionDropsReferences(t *testing.T) {
+	var q afQueue
+	mk := func(n int) []*simalloc.Object {
+		out := make([]*simalloc.Object, n)
+		for i := range out {
+			out[i] = &simalloc.Object{ID: uint64(i)}
+		}
+		return out
+	}
+	// Build a long consumed prefix, then push to trigger compaction.
+	q.push(mk(4096))
+	for i := 0; i < 3000; i++ {
+		q.pop()
+	}
+	q.push(mk(8))
+	if q.head != 0 {
+		t.Fatalf("head = %d, compaction did not run", q.head)
+	}
+	// The vacated tail of the backing array must not keep referencing
+	// objects that were already handed to the allocator.
+	tail := q.objs[len(q.objs):cap(q.objs)]
+	for i, o := range tail {
+		if o != nil {
+			t.Fatalf("backing array slot %d still references object %d after compaction", i, o.ID)
+		}
+	}
+}
+
 func TestConfigDefaultsFilled(t *testing.T) {
 	cfg := Config{Alloc: testAlloc(1), Threads: 1}
 	e := newEnv(cfg)

@@ -1,8 +1,7 @@
 package smr
 
 import (
-	"time"
-
+	"repro/internal/clock"
 	"repro/internal/simalloc"
 	"repro/internal/timeline"
 )
@@ -123,18 +122,21 @@ func (t *Token) freeBatchNow(tid int, batch []*simalloc.Object) {
 	if len(batch) == 0 {
 		return
 	}
-	t0 := time.Now()
-	for _, o := range batch {
-		c0 := time.Now()
-		t.e.alloc.Free(tid, o)
-		if t.e.rec != nil {
-			t.e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
+	if t.e.rec == nil {
+		for _, o := range batch {
+			t.e.alloc.Free(tid, o)
 		}
+		t.e.noteFree(tid, int64(len(batch)))
+		return
+	}
+	t0 := clock.Now()
+	c := t0
+	for _, o := range batch {
+		t.e.alloc.Free(tid, o)
+		c = t.e.rec.RecordFreeCall(tid, c, 1)
 	}
 	t.e.noteFree(tid, int64(len(batch)))
-	if t.e.rec != nil {
-		t.e.rec.Record(tid, timeline.KindBatchFree, t0, time.Now(), int64(len(batch)))
-	}
+	t.e.rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
 }
 
 // freeWithTokenChecks frees a bag one object at a time, checking every
@@ -146,20 +148,24 @@ func (t *Token) freeWithTokenChecks(tid int, batch []*simalloc.Object) {
 		return
 	}
 	k := t.e.cfg.TokenCheckK
-	t0 := time.Now()
+	rec := t.e.rec
+	var t0, c int64
+	if rec != nil {
+		t0 = clock.Now()
+		c = t0
+	}
 	for i, o := range batch {
-		c0 := time.Now()
 		t.e.alloc.Free(tid, o)
-		if t.e.rec != nil {
-			t.e.rec.Record(tid, timeline.KindFreeCall, c0, time.Now(), 1)
+		if rec != nil {
+			c = rec.RecordFreeCall(tid, c, 1)
 		}
 		if (i+1)%k == 0 && t.holder.v.Load() == int64(tid) {
 			t.pass(tid)
 		}
 	}
 	t.e.noteFree(tid, int64(len(batch)))
-	if t.e.rec != nil {
-		t.e.rec.Record(tid, timeline.KindBatchFree, t0, time.Now(), int64(len(batch)))
+	if rec != nil {
+		rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
 	}
 }
 

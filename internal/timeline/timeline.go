@@ -10,7 +10,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // EventKind classifies recorded events.
@@ -60,15 +63,20 @@ func (e Event) Duration() time.Duration { return time.Duration(e.End - e.Start) 
 
 type threadBuf struct {
 	events []Event
-	_      [4]int64 // avoid false sharing between adjacent threads' slices
+	// dropped counts events discarded because the buffer was full. Atomic
+	// so Dropped may be read while other threads are still recording; the
+	// increment sits on the cold buffer-full path.
+	dropped atomic.Int64
+	_       [3]int64 // avoid false sharing between adjacent threads' slices
 }
 
 // Recorder collects events into preallocated per-thread buffers. Each thread
 // ID must be used by one goroutine at a time; recording is wait-free and
-// costs two time stamps plus a bounds check (the paper reports no measurable
-// impact up to 100k events/thread).
+// costs at most one clock stamp (see RecordFreeCall) plus a bounds check.
+// Stamps are int64 nanoseconds from package clock, so recording does no
+// time.Time arithmetic on the hot path.
 type Recorder struct {
-	origin    time.Time
+	origin    int64
 	perThread []threadBuf
 	capEach   int
 	// FreeCallThreshold filters KindFreeCall events below this duration;
@@ -80,8 +88,9 @@ type Recorder struct {
 // fixed per-thread event capacity. A nil *Recorder is valid everywhere and
 // records nothing.
 func NewRecorder(threads, capPerThread int) *Recorder {
+	clock.EnsureCoarse() // Mark stamps with the coarse clock
 	r := &Recorder{
-		origin:            time.Now(),
+		origin:            clock.Now(),
 		perThread:         make([]threadBuf, threads),
 		capEach:           capPerThread,
 		FreeCallThreshold: 100 * time.Microsecond,
@@ -92,37 +101,96 @@ func NewRecorder(threads, capPerThread int) *Recorder {
 	return r
 }
 
-// Origin returns the recorder's time origin.
-func (r *Recorder) Origin() time.Time { return r.origin }
+// Origin returns the recorder's time origin as a clock.Now value.
+func (r *Recorder) Origin() int64 { return r.origin }
 
-// Record stores one event for tid. Events past the per-thread capacity are
-// dropped, keeping recording overhead bounded.
-func (r *Recorder) Record(tid int, kind EventKind, start, end time.Time, value int64) {
+// Record stores one event for tid. Start and end are clock.Now values.
+// Events past the per-thread capacity are dropped (and counted), keeping
+// recording overhead bounded.
+func (r *Recorder) Record(tid int, kind EventKind, startNs, endNs, value int64) {
 	if r == nil {
 		return
 	}
-	if kind == KindFreeCall && end.Sub(start) < r.FreeCallThreshold {
+	if kind == KindFreeCall && endNs-startNs < int64(r.FreeCallThreshold) {
 		return
 	}
 	buf := &r.perThread[tid]
 	if len(buf.events) >= r.capEach {
+		buf.dropped.Add(1)
 		return
 	}
 	buf.events = append(buf.events, Event{
-		Start: start.Sub(r.origin).Nanoseconds(),
-		End:   end.Sub(r.origin).Nanoseconds(),
+		Start: startNs - r.origin,
+		End:   endNs - r.origin,
 		Kind:  kind,
 		Value: value,
 	})
 }
 
-// Mark records an instantaneous event (epoch advance, garbage sample).
+// RecordFreeCall records one allocator free call that began at startNs,
+// taking the end stamp itself so the caller never stamps twice: the returned
+// end value is the next call's start in a tight free loop. The capacity
+// check runs before the stamp, so once a thread's buffer is full — or when
+// the call turns out to be below FreeCallThreshold — the cost is at most the
+// one stamp that doubles as the next interval's start.
+func (r *Recorder) RecordFreeCall(tid int, startNs, value int64) int64 {
+	if r == nil {
+		return startNs
+	}
+	buf := &r.perThread[tid]
+	if len(buf.events) >= r.capEach {
+		// Dropped unexamined: the duration is never measured, so the count
+		// includes calls the threshold filter might have discarded anyway.
+		buf.dropped.Add(1)
+		return startNs
+	}
+	endNs := clock.Now()
+	if endNs-startNs < int64(r.FreeCallThreshold) {
+		return endNs
+	}
+	buf.events = append(buf.events, Event{
+		Start: startNs - r.origin,
+		End:   endNs - r.origin,
+		Kind:  KindFreeCall,
+		Value: value,
+	})
+	return endNs
+}
+
+// Mark records an instantaneous event (epoch advance, garbage sample) using
+// the coarse clock: these stamps only position dots on ms-scale plots, so
+// ~clock.CoarseResolution of staleness is invisible. The stamp is clamped so
+// a mark never starts before the thread's most recently recorded event's
+// start, bounding how far coarse lag can displace a dot.
 func (r *Recorder) Mark(tid int, kind EventKind, value int64) {
 	if r == nil {
 		return
 	}
-	now := time.Now()
+	now := clock.Coarse()
+	if now < r.origin {
+		now = r.origin
+	}
+	buf := &r.perThread[tid]
+	if n := len(buf.events); n > 0 {
+		if last := buf.events[n-1].Start + r.origin; now < last {
+			now = last
+		}
+	}
 	r.Record(tid, kind, now, now, value)
+}
+
+// Dropped reports how many events were discarded across all threads because
+// a per-thread buffer reached its capacity. A non-zero count means the
+// timeline is truncated, not that the trial went quiet.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.perThread {
+		n += r.perThread[i].dropped.Load()
+	}
+	return n
 }
 
 // Threads returns the number of thread rows.
@@ -155,8 +223,17 @@ func (r *Recorder) TotalEvents() int {
 }
 
 // WriteCSV emits all events as "tid,kind,start_ns,end_ns,value" rows with a
-// header, sorted by start time within each thread (the recording order).
+// header, in per-thread recording order. Starts are not strictly sorted: a
+// batch_free event is recorded retroactively at its begin time, after its
+// constituent free_call events. When events were dropped at capacity, a
+// "# dropped=N" comment line precedes the header so truncation is never
+// silent.
 func (r *Recorder) WriteCSV(w io.Writer) error {
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "# dropped=%d\n", d); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintln(w, "tid,kind,start_ns,end_ns,value"); err != nil {
 		return err
 	}
@@ -232,8 +309,12 @@ func RenderASCII(r *Recorder, opt RenderOptions) string {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline: %v span, %d threads (showing %d), bucket=%v\n",
+	fmt.Fprintf(&b, "timeline: %v span, %d threads (showing %d), bucket=%v",
 		time.Duration(span), r.Threads(), rows, time.Duration(bucket))
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, ", dropped=%d", d)
+	}
+	b.WriteByte('\n')
 	shade := func(frac float64) byte {
 		switch {
 		case frac >= 0.75:

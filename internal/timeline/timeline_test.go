@@ -4,13 +4,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
+
+const ms = int64(time.Millisecond)
 
 func TestRecordAndRead(t *testing.T) {
 	r := NewRecorder(2, 8)
 	start := r.Origin()
-	r.Record(0, KindBatchFree, start, start.Add(time.Millisecond), 42)
-	r.Record(1, KindBatchFree, start.Add(time.Millisecond), start.Add(2*time.Millisecond), 7)
+	r.Record(0, KindBatchFree, start, start+ms, 42)
+	r.Record(1, KindBatchFree, start+ms, start+2*ms, 7)
 	if got := r.TotalEvents(); got != 2 {
 		t.Fatalf("TotalEvents = %d, want 2", got)
 	}
@@ -25,9 +29,13 @@ func TestRecordAndRead(t *testing.T) {
 
 func TestNilRecorderSafe(t *testing.T) {
 	var r *Recorder
-	r.Record(0, KindBatchFree, time.Now(), time.Now(), 1)
+	now := clock.Now()
+	r.Record(0, KindBatchFree, now, now, 1)
 	r.Mark(0, KindEpochAdvance, 1)
-	if r.Threads() != 0 || r.TotalEvents() != 0 {
+	if got := r.RecordFreeCall(0, now, 1); got != now {
+		t.Fatalf("nil RecordFreeCall returned %d, want start %d", got, now)
+	}
+	if r.Threads() != 0 || r.TotalEvents() != 0 || r.Dropped() != 0 {
 		t.Fatal("nil recorder not inert")
 	}
 	if got := RenderASCII(r, RenderOptions{}); !strings.Contains(got, "no timeline") {
@@ -39,39 +47,84 @@ func TestNilRecorderSafe(t *testing.T) {
 	}
 }
 
-func TestCapacityBound(t *testing.T) {
+func TestCapacityBoundAndDropped(t *testing.T) {
 	r := NewRecorder(1, 3)
 	now := r.Origin()
 	for i := 0; i < 10; i++ {
-		r.Record(0, KindBatchFree, now, now.Add(time.Millisecond), int64(i))
+		r.Record(0, KindBatchFree, now, now+ms, int64(i))
 	}
 	if got := len(r.Events(0)); got != 3 {
 		t.Fatalf("events = %d, want capacity 3", got)
+	}
+	if got := r.Dropped(); got != 7 {
+		t.Fatalf("Dropped = %d, want 7", got)
 	}
 }
 
 func TestFreeCallThresholdFilters(t *testing.T) {
 	r := NewRecorder(1, 10)
 	now := r.Origin()
-	r.Record(0, KindFreeCall, now, now.Add(time.Microsecond), 1) // below 100µs
+	r.Record(0, KindFreeCall, now, now+int64(time.Microsecond), 1) // below 100µs
 	if r.TotalEvents() != 0 {
 		t.Fatal("short free call not filtered")
 	}
-	r.Record(0, KindFreeCall, now, now.Add(time.Millisecond), 1)
+	r.Record(0, KindFreeCall, now, now+ms, 1)
 	if r.TotalEvents() != 1 {
 		t.Fatal("long free call filtered")
 	}
 	// Batch events are never filtered by the threshold.
-	r.Record(0, KindBatchFree, now, now.Add(time.Nanosecond), 1)
+	r.Record(0, KindBatchFree, now, now+1, 1)
 	if r.TotalEvents() != 2 {
 		t.Fatal("batch event filtered")
+	}
+	// Sub-threshold filtering is not truncation.
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d after threshold filtering, want 0", r.Dropped())
+	}
+}
+
+func TestRecordFreeCall(t *testing.T) {
+	r := NewRecorder(1, 4)
+	// A start far enough in the past is over any threshold.
+	start := clock.Now() - ms
+	end := r.RecordFreeCall(0, start, 1)
+	if end <= start {
+		t.Fatalf("end stamp %d not after start %d", end, start)
+	}
+	if r.TotalEvents() != 1 {
+		t.Fatalf("TotalEvents = %d, want 1", r.TotalEvents())
+	}
+	ev := r.Events(0)[0]
+	if ev.Kind != KindFreeCall || ev.End-ev.Start < ms {
+		t.Fatalf("event = %+v", ev)
+	}
+	// A just-taken start is sub-threshold: filtered, but the returned stamp
+	// still advances so callers can chain it.
+	before := r.TotalEvents()
+	if got := r.RecordFreeCall(0, clock.Now(), 1); got == 0 {
+		t.Fatal("no end stamp returned")
+	}
+	if r.TotalEvents() != before {
+		t.Fatal("sub-threshold free call recorded")
+	}
+}
+
+func TestRecordFreeCallDroppedAtCapacity(t *testing.T) {
+	r := NewRecorder(1, 1)
+	start := clock.Now() - ms
+	r.RecordFreeCall(0, start, 1)
+	if got := r.RecordFreeCall(0, start, 1); got != start {
+		t.Fatalf("full-buffer RecordFreeCall returned %d, want start back", got)
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
 	}
 }
 
 func TestWriteCSV(t *testing.T) {
 	r := NewRecorder(1, 4)
 	now := r.Origin()
-	r.Record(0, KindBatchFree, now, now.Add(time.Millisecond), 5)
+	r.Record(0, KindBatchFree, now, now+ms, 5)
 	r.Mark(0, KindEpochAdvance, 3)
 	var sb strings.Builder
 	if err := r.WriteCSV(&sb); err != nil {
@@ -86,14 +139,28 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestWriteCSVReportsDropped(t *testing.T) {
+	r := NewRecorder(1, 1)
+	now := r.Origin()
+	r.Record(0, KindBatchFree, now, now+ms, 1)
+	r.Record(0, KindBatchFree, now, now+ms, 2)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# dropped=1\n") {
+		t.Fatalf("dropped count not surfaced: %q", sb.String())
+	}
+}
+
 func TestRenderASCIIShadesAndEpochs(t *testing.T) {
 	r := NewRecorder(2, 16)
 	now := r.Origin()
 	// Thread 0 busy freeing for the whole first half of the span.
-	r.Record(0, KindBatchFree, now, now.Add(50*time.Millisecond), 100)
+	r.Record(0, KindBatchFree, now, now+50*ms, 100)
 	// Thread 1 advances the epoch near the end.
-	r.Record(1, KindEpochAdvance, now.Add(99*time.Millisecond), now.Add(99*time.Millisecond), 1)
-	r.Record(1, KindBatchFree, now.Add(90*time.Millisecond), now.Add(100*time.Millisecond), 10)
+	r.Record(1, KindEpochAdvance, now+99*ms, now+99*ms, 1)
+	r.Record(1, KindBatchFree, now+90*ms, now+100*ms, 10)
 	out := RenderASCII(r, RenderOptions{Width: 20})
 	if !strings.Contains(out, "T000") || !strings.Contains(out, "T001") {
 		t.Fatalf("missing thread rows:\n%s", out)
@@ -103,6 +170,20 @@ func TestRenderASCIIShadesAndEpochs(t *testing.T) {
 	}
 	if !strings.Contains(out, "*") {
 		t.Fatalf("no epoch dot in footer:\n%s", out)
+	}
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("dropped annotation without drops:\n%s", out)
+	}
+}
+
+func TestRenderASCIIReportsDropped(t *testing.T) {
+	r := NewRecorder(1, 1)
+	now := r.Origin()
+	r.Record(0, KindBatchFree, now, now+ms, 1)
+	r.Record(0, KindBatchFree, now, now+ms, 2)
+	out := RenderASCII(r, RenderOptions{Width: 10})
+	if !strings.Contains(out, "dropped=1") {
+		t.Fatalf("dropped count not in header:\n%s", out)
 	}
 }
 
@@ -117,7 +198,7 @@ func TestRenderMaxRows(t *testing.T) {
 	r := NewRecorder(5, 4)
 	now := r.Origin()
 	for tid := 0; tid < 5; tid++ {
-		r.Record(tid, KindBatchFree, now, now.Add(time.Millisecond), 1)
+		r.Record(tid, KindBatchFree, now, now+ms, 1)
 	}
 	out := RenderASCII(r, RenderOptions{Width: 10, MaxRows: 2})
 	if strings.Contains(out, "T002") {
@@ -128,8 +209,8 @@ func TestRenderMaxRows(t *testing.T) {
 func TestGarbageCurveSorted(t *testing.T) {
 	r := NewRecorder(2, 8)
 	now := r.Origin()
-	r.Record(1, KindGarbageSample, now.Add(2*time.Millisecond), now.Add(2*time.Millisecond), 30)
-	r.Record(0, KindGarbageSample, now.Add(1*time.Millisecond), now.Add(1*time.Millisecond), 10)
+	r.Record(1, KindGarbageSample, now+2*ms, now+2*ms, 30)
+	r.Record(0, KindGarbageSample, now+ms, now+ms, 10)
 	times, garbage := GarbageCurve(r)
 	if len(times) != 2 || times[0] > times[1] {
 		t.Fatalf("times not sorted: %v", times)
@@ -140,6 +221,16 @@ func TestGarbageCurveSorted(t *testing.T) {
 	out := RenderGarbageCurve(r, 20)
 	if !strings.Contains(out, "max 30") {
 		t.Fatalf("garbage render = %q", out)
+	}
+}
+
+func TestMarkNeverBeforeOrigin(t *testing.T) {
+	r := NewRecorder(1, 4)
+	// Mark uses the coarse clock, which may lag the origin stamp taken at
+	// construction; events must still never start before the origin.
+	r.Mark(0, KindEpochAdvance, 1)
+	if ev := r.Events(0)[0]; ev.Start < 0 {
+		t.Fatalf("Mark produced pre-origin event: %+v", ev)
 	}
 }
 
@@ -154,6 +245,49 @@ func TestEventKindStrings(t *testing.T) {
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+}
+
+// BenchmarkRecordFreeCallSubThreshold is the recorded-trial fast path: the
+// overwhelming majority of free calls are below the threshold and must cost
+// at most one clock stamp.
+func BenchmarkRecordFreeCallSubThreshold(b *testing.B) {
+	r := NewRecorder(1, 1<<20)
+	c := clock.Now()
+	for i := 0; i < b.N; i++ {
+		c = r.RecordFreeCall(0, c, 1)
+	}
+}
+
+// BenchmarkRecordFreeCallLegacy measures the stamping pattern this package
+// replaced: two time.Now reads plus time.Time arithmetic per call.
+func BenchmarkRecordFreeCallLegacy(b *testing.B) {
+	r := NewRecorder(1, 1<<20)
+	for i := 0; i < b.N; i++ {
+		c0 := time.Now()
+		end := time.Now()
+		if d := end.Sub(c0); d >= r.FreeCallThreshold {
+			r.Record(0, KindFreeCall, int64(d), 2*int64(d), 1)
+		}
+	}
+}
+
+func BenchmarkRecordFreeCallBufferFull(b *testing.B) {
+	r := NewRecorder(1, 0)
+	c := clock.Now()
+	for i := 0; i < b.N; i++ {
+		c = r.RecordFreeCall(0, c, 1)
+	}
+}
+
+func BenchmarkRecordBatchFree(b *testing.B) {
+	r := NewRecorder(1, 1<<20)
+	now := r.Origin()
+	for i := 0; i < b.N; i++ {
+		r.Record(0, KindBatchFree, now, now+ms, 1)
+		if i&0xffff == 0xffff {
+			r.perThread[0].events = r.perThread[0].events[:0]
 		}
 	}
 }

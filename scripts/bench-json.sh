@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench-json.sh — run the benchmark smoke suite and emit the results as a
+# JSON artifact (default BENCH_2.json), starting the repo's perf trajectory:
+# each perf PR records a BENCH_<pr>.json so speedups and regressions are
+# measured across PRs, not asserted.
+#
+# Usage: scripts/bench-json.sh [output.json]
+# Env:   BENCHTIME=200ms  go test -benchtime value
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_2.json}"
+benchtime="${BENCHTIME:-200ms}"
+
+raw="$(go test -run=NONE -bench=. -benchtime="$benchtime" ./internal/...)"
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+  # "BenchmarkName-8  400  894067 ns/op  9162674 frees/s ..."
+  name = $1; iters = $2
+  metrics = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1); gsub(/"/, "", unit)
+    metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), unit, $i)
+  }
+  lines[n++] = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", pkg, name, iters, metrics)
+}
+END {
+  print "{"
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  print "  \"benchmarks\": ["
+  for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+  print "  ]"
+  print "}"
+}
+' > "$out"
+echo "wrote $out"
