@@ -9,6 +9,7 @@
 //	epochbench -exp exp1 -threads 6,12,24,48 -dur 300ms -trials 3
 //	epochbench -exp fig13 -keyrange 16384
 //	epochbench -exp exp2 -scenario zipf
+//	epochbench -exp exp1 -parallel 4 -store results.jsonl
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/results"
 )
 
 // main delegates to realMain so deferred cleanup — flushing the CPU profile,
@@ -44,6 +47,8 @@ func realMain() int {
 		dsName     = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
 		scenario   = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
 		all        = flag.Bool("all", false, "run every registered experiment")
+		parallel   = flag.Int("parallel", 1, "max in-flight trials for experiment sweeps (1 = serial, bit-compatible order)")
+		storePath  = flag.String("store", "", "JSONL results store: cached trials skip execution, completed trials append")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -89,6 +94,20 @@ func realMain() int {
 		return 0
 	}
 
+	// Every experiment sweep routes through the grid runner. The default
+	// (serial, no store) executes trials in exactly the order — and with
+	// exactly the seeds — the former inline loops used; -parallel and
+	// -store add concurrency and cached resumability on top.
+	runner := &grid.Runner{Parallel: *parallel}
+	if *storePath != "" {
+		st, err := results.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		runner.Store = st
+	}
 	opts := bench.Options{
 		AtThreads:     *at,
 		Duration:      *dur,
@@ -97,6 +116,7 @@ func realMain() int {
 		BatchSize:     *batch,
 		DataStructure: *dsName,
 		Scenario:      *scenario,
+		RunGrid:       runner.GridFunc(),
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
@@ -124,6 +144,10 @@ func realMain() int {
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		if *storePath != "" {
+			executed, cached := runner.Counts()
+			fmt.Printf("(store %s: executed=%d cached=%d)\n\n", *storePath, executed, cached)
+		}
 		return 0
 	}
 

@@ -1,0 +1,340 @@
+// Command epochgrid declares parameter sweeps from flags, runs them through
+// the parallel cache-aware grid runner, and diffs result stores.
+//
+// Sweep (axes are comma-separated; the cartesian product runs):
+//
+//	epochgrid -scenarios paper,zipf -reclaimers debra,token_af -threads 2,4 \
+//	    -trials 3 -dur 100ms -store results.jsonl -parallel 4
+//
+// A re-run of the same sweep against the same store executes zero trials
+// (every key is already present); an interrupted sweep resumes where it
+// stopped. Emit machine-readable results with -format json|csv.
+//
+// Regression diff between two stores:
+//
+//	epochgrid -compare old.jsonl -with new.jsonl -tol 0.05
+//
+// exits 1 when any configuration regressed beyond the tolerance, which is
+// what the CI gate keys off.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/results"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		scenarios  = flag.String("scenarios", "", "comma-separated scenario axis (default: paper)")
+		dsNames    = flag.String("ds", "", "comma-separated data structure axis (abtree, occtree, dgtree)")
+		allocators = flag.String("allocators", "", "comma-separated allocator axis (jemalloc, tcmalloc, mimalloc)")
+		reclaimers = flag.String("reclaimers", "", "comma-separated reclaimer axis (see smr registry)")
+		threads    = flag.String("threads", "", "comma-separated thread-count axis (default: 4)")
+		batches    = flag.String("batches", "", "comma-separated limbo batch-size axis (default: 2048)")
+		trials     = flag.Int("trials", 1, "trials per configuration (seed chain)")
+		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
+		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
+		seed       = flag.Uint64("seed", 0, "base RNG seed (default 1)")
+		storePath  = flag.String("store", "", "JSONL results store: cache hits skip execution, completed trials append")
+		parallel   = flag.Int("parallel", 1, "max in-flight trials")
+		budget     = flag.Int("budget", 0, "thread-token budget shared by in-flight trials (default GOMAXPROCS)")
+		format     = flag.String("format", "table", "output format: table, json, csv")
+		outPath    = flag.String("out", "", "write results to this file instead of stdout")
+		progress   = flag.Bool("progress", false, "stream per-trial progress to stderr")
+		compareOld = flag.String("compare", "", "diff mode: path of the old (baseline) store")
+		compareNew = flag.String("with", "", "diff mode: path of the new store (required with -compare)")
+		tol        = flag.Float64("tol", 0.05, "relative mean-ops tolerance for unchanged classification")
+	)
+	flag.Parse()
+
+	if *compareOld != "" || *compareNew != "" {
+		return runCompare(*compareOld, *compareNew, *tol, *format, *outPath)
+	}
+
+	spec := grid.Spec{
+		Scenarios:      splitAxis(*scenarios),
+		DataStructures: splitAxis(*dsNames),
+		Allocators:     splitAxis(*allocators),
+		Reclaimers:     splitAxis(*reclaimers),
+		Trials:         *trials,
+	}
+	var err error
+	if spec.Threads, err = splitInts(*threads); err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: -threads: %v\n", err)
+		return 2
+	}
+	if spec.BatchSizes, err = splitInts(*batches); err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: -batches: %v\n", err)
+		return 2
+	}
+	spec.Base = bench.DefaultWorkload(4)
+	if *dur > 0 {
+		spec.Base.Duration = *dur
+	}
+	if *keyrange > 0 {
+		spec.Base.KeyRange = *keyrange
+	}
+	if *seed > 0 {
+		spec.Base.Seed = *seed
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 2
+	}
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "epochgrid: unknown format %q (table, json, csv)\n", *format)
+		return 2
+	}
+
+	runner := &grid.Runner{Parallel: *parallel, Budget: *budget}
+	if *storePath != "" {
+		st, err := results.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		runner.Store = st
+	}
+	if *progress {
+		runner.OnProgress = func(p grid.Progress) {
+			verb := "ran"
+			if p.FromCache {
+				verb = "hit"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s (%s)\n",
+				p.Done, p.Total, verb, results.Label(p.Config), p.Key)
+		}
+	}
+
+	t0 := time.Now()
+	sums, err := runner.RunSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	executed, cached := runner.Counts()
+
+	out, cleanup, err := openOut(*outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	defer cleanup()
+	if err := emit(out, *format, sums, executed, cached); err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	// Machine-greppable run line (the CI cache-hit gate matches executed=0).
+	fmt.Fprintf(os.Stderr, "grid: configs=%d trials=%d executed=%d cached=%d wall=%v\n",
+		len(sums), executed+cached, executed, cached, time.Since(t0).Round(time.Millisecond))
+	return 0
+}
+
+func splitAxis(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitAxis(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// emit renders the per-config summaries. Every format carries the seeds a
+// summary aggregates, so stored numbers trace back to their RNG streams.
+func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int) error {
+	switch format {
+	case "table":
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "scenario\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB")
+		for _, s := range sums {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\n",
+				s.Cfg.Scenario, s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
+				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB)
+		}
+		return tw.Flush()
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{
+			"scenario", "ds", "allocator", "reclaimer", "threads", "batch",
+			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
+		}); err != nil {
+			return err
+		}
+		for _, s := range sums {
+			if err := cw.Write([]string{
+				s.Cfg.Scenario, s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+				strconv.Itoa(s.Cfg.Threads), strconv.Itoa(s.Cfg.BatchSize),
+				seedList(s), strconv.Itoa(len(s.Trials)),
+				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
+				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case "json":
+		type jsonSummary struct {
+			Scenario      string   `json:"scenario"`
+			DataStructure string   `json:"ds"`
+			Allocator     string   `json:"allocator"`
+			Reclaimer     string   `json:"reclaimer"`
+			Threads       int      `json:"threads"`
+			BatchSize     int      `json:"batch"`
+			Seeds         []uint64 `json:"seeds"`
+			Trials        int      `json:"trials"`
+			MeanOps       float64  `json:"mean_ops"`
+			MinOps        float64  `json:"min_ops"`
+			MaxOps        float64  `json:"max_ops"`
+			MeanPeakMiB   float64  `json:"mean_peak_mib"`
+		}
+		doc := struct {
+			Executed  int           `json:"executed"`
+			Cached    int           `json:"cached"`
+			Summaries []jsonSummary `json:"summaries"`
+		}{Executed: executed, Cached: cached}
+		for _, s := range sums {
+			js := jsonSummary{
+				Scenario: s.Cfg.Scenario, DataStructure: s.Cfg.DataStructure,
+				Allocator: s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
+				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
+				Trials:  len(s.Trials),
+				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
+				MeanPeakMiB: s.MeanPeakMiB,
+			}
+			for _, tr := range s.Trials {
+				js.Seeds = append(js.Seeds, tr.Seed)
+			}
+			doc.Summaries = append(doc.Summaries, js)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	default:
+		return fmt.Errorf("unknown format %q (table, json, csv)", format)
+	}
+}
+
+func seedList(s bench.Summary) string {
+	parts := make([]string, len(s.Trials))
+	for i, tr := range s.Trials {
+		parts[i] = strconv.FormatUint(tr.Seed, 10)
+	}
+	return strings.Join(parts, ";")
+}
+
+// runCompare diffs two stores and exits nonzero on regression.
+func runCompare(oldPath, newPath string, tol float64, format, outPath string) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "epochgrid: -compare OLD and -with NEW are both required")
+		return 2
+	}
+	oldStore, err := loadStore(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	newStore, err := loadStore(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	rep := results.Compare(oldStore, newStore, results.Tolerances{RelOps: tol})
+
+	out, cleanup, err := openOut(outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+		return 1
+	}
+	defer cleanup()
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Fprint(out, rep.String())
+	}
+	if rep.Regressed > 0 {
+		fmt.Fprintf(os.Stderr, "epochgrid: %d configuration(s) regressed beyond ±%.1f%%\n",
+			rep.Regressed, 100*rep.Tolerance)
+		return 1
+	}
+	// A diff where nothing overlaps is a broken gate, not a pass: a schema
+	// bump, a Normalize change, or edited sweep flags shifts every group
+	// key, and silently reporting "0 regressed" would disable the CI
+	// baseline check forever. Fail so the baseline gets refreshed.
+	if matched := rep.Improved + rep.Regressed + rep.Unchanged; matched == 0 &&
+		oldStore.Len() > 0 && newStore.Len() > 0 {
+		fmt.Fprintln(os.Stderr,
+			"epochgrid: no configuration group exists in both stores — keys changed (schema, normalization, or sweep flags); refresh the baseline")
+		return 1
+	}
+	return 0
+}
+
+// loadStore reads a JSONL store without opening it for append (diffing
+// must not touch either file).
+func loadStore(path string) (*results.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st := results.NewMemStore()
+	if err := st.Load(f); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

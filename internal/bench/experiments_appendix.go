@@ -26,17 +26,23 @@ func init() {
 func runFig17(o Options) (string, error) {
 	o.fill()
 	var sb strings.Builder
-	for _, rc := range []struct{ label, name string }{
+	panels := []struct{ label, name string }{
 		{"Fig. 17 (upper) — batch free (debra)", "debra"},
 		{"Fig. 17 (lower) — amortized free (debra_af)", "debra_af"},
-	} {
+	}
+	cfgs := make([]WorkloadConfig, len(panels))
+	for i, rc := range panels {
 		cfg := o.workload(o.AtThreads)
 		cfg.Reclaimer = rc.name
 		cfg.Record = true
-		tr, err := RunTrial(cfg)
-		if err != nil {
-			return "", err
-		}
+		cfgs[i] = cfg
+	}
+	gridRes, err := o.runGrid(cfgs, 0)
+	if err != nil {
+		return "", err
+	}
+	for i, rc := range panels {
+		tr := gridRes[i].Trials[0]
 		// Count visible calls and bucket their start times to expose the
 		// column alignment the appendix discusses.
 		var visible int
@@ -58,18 +64,29 @@ func runFig17(o Options) (string, error) {
 
 func runAppG(o Options) (string, error) {
 	o.fill()
-	var sb strings.Builder
-	fig := 18
-	for _, alloc := range []string{"jemalloc", "tcmalloc", "mimalloc"} {
-		for _, n := range []int{48, 96, 192, 240} {
+	allocs := []string{"jemalloc", "tcmalloc", "mimalloc"}
+	threads := []int{48, 96, 192, 240}
+	cfgs := make([]WorkloadConfig, 0, len(allocs)*len(threads))
+	for _, alloc := range allocs {
+		for _, n := range threads {
 			cfg := o.workload(n)
 			cfg.Allocator = alloc
 			cfg.Reclaimer = "debra"
 			cfg.Record = true
-			tr, err := RunTrial(cfg)
-			if err != nil {
-				return "", err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	gridRes, err := o.runGrid(cfgs, 0)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fig := 18
+	idx := 0
+	for _, alloc := range allocs {
+		for _, n := range threads {
+			tr := gridRes[idx].Trials[0]
+			idx++
 			fmt.Fprintf(&sb, "Fig. %d — %s, DEBRA, %d threads (ops/s %s, peak %.1f MiB):\n",
 				fig, alloc, n, fmtOps(tr.OpsPerSec), tr.PeakMiB)
 			sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{

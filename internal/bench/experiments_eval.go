@@ -55,18 +55,29 @@ func runExp1(o Options) (string, error) {
 	fmt.Fprintf(&sb, "Experiment 1 (Fig. 11a) — %s, scenario %s, JEmalloc:\n", o.DataStructure, o.Scenario)
 	header := append([]string{"threads"}, names...)
 	tb := newTable(header...)
-	// Track per-reclaimer mean across thread counts for the paper's
-	// "averaged across all thread counts" comparisons.
-	sums := map[string]float64{}
+	// Expand the threads × reclaimers grid (rows-major, matching the
+	// rendered table) and execute it through the grid runner.
+	cfgs := make([]WorkloadConfig, 0, len(o.Threads)*len(names))
 	for _, n := range o.Threads {
-		row := []string{fmt.Sprintf("%d", n)}
 		for _, name := range names {
 			cfg := o.workload(n)
 			cfg.Reclaimer = name
-			s, err := RunTrials(cfg, o.Trials)
-			if err != nil {
-				return "", err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	gridRes, err := o.runGrid(cfgs, o.Trials)
+	if err != nil {
+		return "", err
+	}
+	// Track per-reclaimer mean across thread counts for the paper's
+	// "averaged across all thread counts" comparisons.
+	sums := map[string]float64{}
+	idx := 0
+	for _, n := range o.Threads {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, name := range names {
+			s := gridRes[idx]
+			idx++
 			sums[name] += s.MeanOps
 			row = append(row, fmtOps(s.MeanOps))
 		}
@@ -90,27 +101,31 @@ func runExp1(o Options) (string, error) {
 func runExp2(o Options) (string, error) {
 	o.fill()
 	tb := newTable("reclaimer", "ORIG ops/s", "AF ops/s", "AF/ORIG")
-	improved, big := 0, 0
-	for _, pair := range smr.Experiment2Pairs() {
-		var res [2]TrialResult
-		for i, name := range pair {
+	pairs := smr.Experiment2Pairs()
+	// Flatten the ORIG/AF pairs into one grid batch; trials <= 0 keeps the
+	// single-trial verbatim-seed convention this table has always used.
+	cfgs := make([]WorkloadConfig, 0, 2*len(pairs))
+	for _, pair := range pairs {
+		for _, name := range pair {
 			cfg := o.workload(o.AtThreads)
 			cfg.Reclaimer = name
-			tr, err := RunTrial(cfg)
-			if err != nil {
-				return "", err
-			}
-			res[i] = tr
+			cfgs = append(cfgs, cfg)
 		}
-		if res[1].OpsPerSec > res[0].OpsPerSec {
+	}
+	gridRes, err := o.runGrid(cfgs, 0)
+	if err != nil {
+		return "", err
+	}
+	improved, big := 0, 0
+	for i, pair := range pairs {
+		orig, af := gridRes[2*i].MeanOps, gridRes[2*i+1].MeanOps
+		if af > orig {
 			improved++
 		}
-		if res[1].OpsPerSec > 1.5*res[0].OpsPerSec {
+		if af > 1.5*orig {
 			big++
 		}
-		tb.addf("%s\t%s\t%s\t%s", pair[0],
-			fmtOps(res[0].OpsPerSec), fmtOps(res[1].OpsPerSec),
-			ratio(res[1].OpsPerSec, res[0].OpsPerSec))
+		tb.addf("%s\t%s\t%s\t%s", pair[0], fmtOps(orig), fmtOps(af), ratio(af, orig))
 	}
 	return fmt.Sprintf(
 		"Experiment 2 (Fig. 11b) — AF vs ORIG, %d threads, batch %d:\n%s\n%d/10 improved, %d/10 by >50%%\n",
@@ -125,20 +140,28 @@ func origVsAFSweep(title, dsName string) func(Options) (string, error) {
 		o.DataStructure = dsName
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "%s — ORIG vs AF across threads:\n", title)
-		for _, pair := range smr.Experiment2Pairs() {
-			tb := newTable("threads", pair[0], pair[1], "AF/ORIG")
+		pairs := smr.Experiment2Pairs()
+		cfgs := make([]WorkloadConfig, 0, 2*len(pairs)*len(o.Threads))
+		for _, pair := range pairs {
 			for _, n := range o.Threads {
-				var ops [2]float64
-				for i, name := range pair {
+				for _, name := range pair {
 					cfg := o.workload(n)
 					cfg.Reclaimer = name
-					s, err := RunTrials(cfg, o.Trials)
-					if err != nil {
-						return "", err
-					}
-					ops[i] = s.MeanOps
+					cfgs = append(cfgs, cfg)
 				}
-				tb.addf("%d\t%s\t%s\t%s", n, fmtOps(ops[0]), fmtOps(ops[1]), ratio(ops[1], ops[0]))
+			}
+		}
+		gridRes, err := o.runGrid(cfgs, o.Trials)
+		if err != nil {
+			return "", err
+		}
+		idx := 0
+		for _, pair := range pairs {
+			tb := newTable("threads", pair[0], pair[1], "AF/ORIG")
+			for _, n := range o.Threads {
+				orig, af := gridRes[idx].MeanOps, gridRes[idx+1].MeanOps
+				idx += 2
+				tb.addf("%d\t%s\t%s\t%s", n, fmtOps(orig), fmtOps(af), ratio(af, orig))
 			}
 			fmt.Fprintf(&sb, "(%s)\n%s\n", pair[0], tb)
 		}
@@ -163,17 +186,25 @@ func machineExperiment(title string, cost simalloc.CostModel) func(Options) (str
 		names := []string{"token_af", "debra_af", "nbrplus", "debra", "none", "hp"}
 		header := append([]string{"threads"}, names...)
 		tb := newTable(header...)
+		cfgs := make([]WorkloadConfig, 0, len(o.Threads)*len(names))
 		for _, n := range o.Threads {
-			row := []string{fmt.Sprintf("%d", n)}
 			for _, name := range names {
 				cfg := o.workload(n)
 				cfg.Reclaimer = name
 				cfg.Cost = cost
-				s, err := RunTrials(cfg, o.Trials)
-				if err != nil {
-					return "", err
-				}
-				row = append(row, fmtOps(s.MeanOps))
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		gridRes, err := o.runGrid(cfgs, o.Trials)
+		if err != nil {
+			return "", err
+		}
+		idx := 0
+		for _, n := range o.Threads {
+			row := []string{fmt.Sprintf("%d", n)}
+			for range names {
+				row = append(row, fmtOps(gridRes[idx].MeanOps))
+				idx++
 			}
 			tb.add(row...)
 		}
@@ -181,19 +212,23 @@ func machineExperiment(title string, cost simalloc.CostModel) func(Options) (str
 
 		// The appendix also repeats the AF-vs-ORIG comparison at full load.
 		tb2 := newTable("reclaimer", "ORIG", "AF", "AF/ORIG")
-		for _, pair := range smr.Experiment2Pairs() {
-			var ops [2]float64
-			for i, name := range pair {
+		pairs := smr.Experiment2Pairs()
+		pairCfgs := make([]WorkloadConfig, 0, 2*len(pairs))
+		for _, pair := range pairs {
+			for _, name := range pair {
 				cfg := o.workload(o.AtThreads)
 				cfg.Reclaimer = name
 				cfg.Cost = cost
-				tr, err := RunTrial(cfg)
-				if err != nil {
-					return "", err
-				}
-				ops[i] = tr.OpsPerSec
+				pairCfgs = append(pairCfgs, cfg)
 			}
-			tb2.addf("%s\t%s\t%s\t%s", pair[0], fmtOps(ops[0]), fmtOps(ops[1]), ratio(ops[1], ops[0]))
+		}
+		pairRes, err := o.runGrid(pairCfgs, 0)
+		if err != nil {
+			return "", err
+		}
+		for i, pair := range pairs {
+			orig, af := pairRes[2*i].MeanOps, pairRes[2*i+1].MeanOps
+			tb2.addf("%s\t%s\t%s\t%s", pair[0], fmtOps(orig), fmtOps(af), ratio(af, orig))
 		}
 		fmt.Fprintf(&sb, "\nAF vs ORIG at %d threads:\n%s", o.AtThreads, tb2)
 		return sb.String(), nil

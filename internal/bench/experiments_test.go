@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/smr"
+)
+
+// smokeOptions shrinks every experiment to seconds of total runtime: 2
+// threads, 20 ms windows, 1 trial, a tiny key range, and a small recorder
+// capacity (several experiments hard-code up to 240-thread panels, whose
+// default 100k-events-per-thread recorders would preallocate hundreds of
+// MiB).
+func smokeOptions() Options {
+	return Options{
+		Threads:     []int{2},
+		AtThreads:   2,
+		Duration:    20 * time.Millisecond,
+		Trials:      1,
+		KeyRange:    1 << 10,
+		BatchSize:   128,
+		RecorderCap: 2000,
+	}
+}
+
+// TestExperimentRegistrySmoke executes every registered experiment with
+// tiny options: no panic, no error, non-empty report. It is the only test
+// that exercises the full experiment surface, so it runs in the regular CI
+// test job and is skipped under -short (the -race job).
+func TestExperimentRegistrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke is slow; skipped under -short")
+	}
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("registry lost %q", id)
+			}
+			out, err := e.Run(smokeOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if out == "" {
+				t.Fatalf("%s: empty report", id)
+			}
+		})
+	}
+}
+
+// fakeGrid records the expanded configs and fabricates summaries, so order
+// pins run without executing trials.
+func fakeGrid(captured *[][]WorkloadConfig) GridFunc {
+	return func(cfgs []WorkloadConfig, trials int) ([]Summary, error) {
+		*captured = append(*captured, cfgs)
+		out := make([]Summary, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = SummarizeTrials(cfg, []TrialResult{{
+				Scenario:  cfg.Scenario,
+				Seed:      cfg.Seed,
+				OpsPerSec: float64(100 + i),
+				PeakMiB:   1,
+			}})
+		}
+		return out, nil
+	}
+}
+
+// TestExp1GridExpansionOrder pins the rewiring contract: exp1 must expand
+// its sweep rows-major — threads outer, Experiment1Names inner — so the
+// serial default executes trials in exactly the order the former inline
+// loop did (bit-compatible tables).
+func TestExp1GridExpansionOrder(t *testing.T) {
+	var captured [][]WorkloadConfig
+	opts := smokeOptions()
+	opts.Threads = []int{2, 4}
+	opts.RunGrid = fakeGrid(&captured)
+	e, _ := Get("exp1")
+	if _, err := e.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 1 {
+		t.Fatalf("exp1 made %d grid calls, want 1", len(captured))
+	}
+	names := smr.Experiment1Names()
+	cfgs := captured[0]
+	if len(cfgs) != 2*len(names) {
+		t.Fatalf("expanded %d configs, want %d", len(cfgs), 2*len(names))
+	}
+	idx := 0
+	for _, n := range []int{2, 4} {
+		for _, name := range names {
+			if cfgs[idx].Threads != n || cfgs[idx].Reclaimer != name {
+				t.Fatalf("cfg[%d] = t%d/%s, want t%d/%s",
+					idx, cfgs[idx].Threads, cfgs[idx].Reclaimer, n, name)
+			}
+			idx++
+		}
+	}
+}
+
+// TestExp2SingleTrialConvention pins that exp2's grid batch keeps the
+// verbatim-seed single-trial convention (trials <= 0) the table has always
+// used.
+func TestExp2SingleTrialConvention(t *testing.T) {
+	var captured [][]WorkloadConfig
+	opts := smokeOptions()
+	opts.RunGrid = func(cfgs []WorkloadConfig, trials int) ([]Summary, error) {
+		if trials > 0 {
+			t.Fatalf("exp2 requested the seed chain (trials=%d), want verbatim seeds", trials)
+		}
+		return fakeGrid(&captured)(cfgs, trials)
+	}
+	e, _ := Get("exp2")
+	if _, err := e.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	pairs := smr.Experiment2Pairs()
+	if len(captured) != 1 || len(captured[0]) != 2*len(pairs) {
+		t.Fatalf("exp2 expanded %d batches", len(captured))
+	}
+	for _, cfg := range captured[0] {
+		if cfg.Seed != DefaultWorkload(2).Seed {
+			t.Fatalf("exp2 mutated the base seed: %d", cfg.Seed)
+		}
+	}
+}
+
+// TestTrialSeedsMatchesLegacyChain pins the RunTrials seed derivation the
+// results store keys depend on.
+func TestTrialSeedsMatchesLegacyChain(t *testing.T) {
+	got := TrialSeeds(1, 3)
+	// The legacy chain: s = s*31 + i + 1 starting from the base seed.
+	want := []uint64{32, 994, 30817}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TrialSeeds(1,3) = %v, want %v", got, want)
+		}
+	}
+	if n := len(TrialSeeds(7, 0)); n != 1 {
+		t.Fatalf("TrialSeeds(_, 0) length = %d, want 1 (clamped)", n)
+	}
+}
+
+// TestTrialResultCarriesSeed pins the self-describing-results satellite:
+// the seed a trial ran with must surface in its result.
+func TestTrialResultCarriesSeed(t *testing.T) {
+	cfg := tinyWorkload(2)
+	cfg.Seed = 1234
+	tr, err := RunTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seed != 1234 {
+		t.Fatalf("TrialResult.Seed = %d, want 1234", tr.Seed)
+	}
+	s, err := RunTrials(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range TrialSeeds(1234, 2) {
+		if s.Trials[i].Seed != seed {
+			t.Fatalf("trial %d seed = %d, want %d", i, s.Trials[i].Seed, seed)
+		}
+	}
+}

@@ -55,15 +55,24 @@ func tokenSweep(o Options, title string, reclaimers []string) (string, error) {
 		header = append(header, r+" ops/s", r+" MiB")
 	}
 	tb := newTable(header...)
+	cfgs := make([]WorkloadConfig, 0, len(o.Threads)*len(reclaimers))
 	for _, n := range o.Threads {
-		row := []string{fmt.Sprintf("%d", n)}
 		for _, r := range reclaimers {
 			cfg := o.workload(n)
 			cfg.Reclaimer = r
-			s, err := RunTrials(cfg, o.Trials)
-			if err != nil {
-				return "", err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	gridRes, err := o.runGrid(cfgs, o.Trials)
+	if err != nil {
+		return "", err
+	}
+	idx := 0
+	for _, n := range o.Threads {
+		row := []string{fmt.Sprintf("%d", n)}
+		for range reclaimers {
+			s := gridRes[idx]
+			idx++
 			row = append(row, fmtOps(s.MeanOps), fmt.Sprintf("%.1f", s.MeanPeakMiB))
 		}
 		tb.add(row...)

@@ -31,6 +31,16 @@ type Options struct {
 	// Scenario selects the workload scenario (see Scenarios()); the
 	// default is "paper", the methodology every table and figure uses.
 	Scenario string
+	// RecorderCap overrides the per-thread timeline capacity for
+	// record-enabled experiments when positive (smoke tests shrink it; the
+	// default 100000 × 240 threads preallocates hundreds of MiB).
+	RecorderCap int
+	// RunGrid, when non-nil, executes each experiment's expanded
+	// configuration batch instead of the default serial loop — the hook
+	// through which cmd tools route sweeps into grid.Runner for parallel,
+	// cache-backed execution (internal/grid cannot be imported from here
+	// without a cycle). Nil means SerialGrid.
+	RunGrid GridFunc
 }
 
 // DefaultOptions returns the scaled paper methodology.
@@ -83,7 +93,49 @@ func (o *Options) workload(threads int) WorkloadConfig {
 	cfg.BatchSize = o.BatchSize
 	cfg.DataStructure = o.DataStructure
 	cfg.Scenario = o.Scenario
+	if o.RecorderCap > 0 {
+		cfg.RecorderCap = o.RecorderCap
+	}
 	return cfg
+}
+
+// GridFunc executes a batch of workload configurations — one experiment
+// sweep expanded to explicit configs — and returns one Summary per config,
+// in input order. trials >= 1 runs the RunTrials seed chain per config;
+// trials <= 0 runs exactly one trial per config with cfg.Seed used verbatim
+// (the historical RunTrial convention of the single-point experiments, kept
+// distinct so rewiring the sweeps through a GridFunc preserves every RNG
+// stream bit-for-bit).
+type GridFunc func(cfgs []WorkloadConfig, trials int) ([]Summary, error)
+
+// SerialGrid is the default GridFunc: execute the configurations serially,
+// in order, exactly as the experiments' former inline loops did.
+func SerialGrid(cfgs []WorkloadConfig, trials int) ([]Summary, error) {
+	out := make([]Summary, len(cfgs))
+	for i, cfg := range cfgs {
+		if trials <= 0 {
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = SummarizeTrials(cfg, []TrialResult{tr})
+			continue
+		}
+		s, err := RunTrials(cfg, trials)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// runGrid dispatches a config batch to the configured grid runner.
+func (o *Options) runGrid(cfgs []WorkloadConfig, trials int) ([]Summary, error) {
+	if o.RunGrid != nil {
+		return o.RunGrid(cfgs, trials)
+	}
+	return SerialGrid(cfgs, trials)
 }
 
 // Experiment is one reproducible table or figure.

@@ -112,6 +112,7 @@ func (s *Stack) Stopped() bool { return s.stopped.Load() }
 func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	var res TrialResult
 	res.Scenario = s.cfg.Scenario
+	res.Seed = s.cfg.Seed
 	res.Ops = ops
 	res.Wall = wall
 	res.OpsPerSec = float64(ops) / wall.Seconds()

@@ -119,6 +119,10 @@ func DefaultWorkload(threads int) WorkloadConfig {
 type TrialResult struct {
 	// Scenario is the workload scenario the trial ran.
 	Scenario string
+	// Seed is the per-thread RNG stream seed the trial actually used (after
+	// any RunTrials chaining), so a stored result can be traced back to —
+	// and re-executed with — the exact streams that produced it.
+	Seed uint64
 	// Ops and OpsPerSec are completed set operations in the window.
 	Ops       int64
 	OpsPerSec float64
@@ -146,8 +150,9 @@ type TrialResult struct {
 	PctHostOverhead   float64
 	// Wall is the actual measured-window duration.
 	Wall time.Duration
-	// Recorder holds timeline events when recording was enabled.
-	Recorder *timeline.Recorder
+	// Recorder holds timeline events when recording was enabled. It is
+	// excluded from JSON so results can be persisted (see internal/results).
+	Recorder *timeline.Recorder `json:"-"`
 }
 
 // rng is a per-thread xorshift generator; math/rand's global lock would
@@ -294,24 +299,33 @@ type Summary struct {
 	MinPeak, MaxMiB float64
 }
 
-// RunTrials runs n trials and aggregates them (the paper reports the mean
-// with min/max error bars over three trials).
-func RunTrials(cfg WorkloadConfig, n int) (Summary, error) {
-	if n <= 0 {
+// TrialSeeds returns the per-trial seed chain RunTrials feeds successive
+// trials of a configuration whose base seed is base: seed_i depends on all
+// previous links, so trials of one configuration never share RNG streams.
+// The chain is part of the stored-results contract (internal/results hashes
+// the chained seed into each TrialKey); changing it invalidates every
+// existing store.
+func TrialSeeds(base uint64, n int) []uint64 {
+	if n < 1 {
 		n = 1
 	}
-	s := Summary{Cfg: cfg}
-	for i := 0; i < n; i++ {
-		cfg.Seed = cfg.Seed*31 + uint64(i) + 1
-		tr, err := RunTrial(cfg)
-		if err != nil {
-			return Summary{}, err
-		}
-		s.Trials = append(s.Trials, tr)
+	seeds := make([]uint64, n)
+	s := base
+	for i := range seeds {
+		s = s*31 + uint64(i) + 1
+		seeds[i] = s
 	}
-	s.MinOps, s.MaxOps = s.Trials[0].OpsPerSec, s.Trials[0].OpsPerSec
-	s.MinPeak, s.MaxMiB = s.Trials[0].PeakMiB, s.Trials[0].PeakMiB
-	for _, tr := range s.Trials {
+	return seeds
+}
+
+// SummarizeTrials aggregates already-executed trials of one configuration
+// into a Summary, exactly as RunTrials would. cfg is the base configuration
+// (pre-chaining seed); trials must be non-empty.
+func SummarizeTrials(cfg WorkloadConfig, trials []TrialResult) Summary {
+	s := Summary{Cfg: cfg, Trials: trials}
+	s.MinOps, s.MaxOps = trials[0].OpsPerSec, trials[0].OpsPerSec
+	s.MinPeak, s.MaxMiB = trials[0].PeakMiB, trials[0].PeakMiB
+	for _, tr := range trials {
 		s.MeanOps += tr.OpsPerSec
 		s.MeanPeakMiB += tr.PeakMiB
 		if tr.OpsPerSec < s.MinOps {
@@ -327,7 +341,26 @@ func RunTrials(cfg WorkloadConfig, n int) (Summary, error) {
 			s.MaxMiB = tr.PeakMiB
 		}
 	}
-	s.MeanOps /= float64(len(s.Trials))
-	s.MeanPeakMiB /= float64(len(s.Trials))
-	return s, nil
+	s.MeanOps /= float64(len(trials))
+	s.MeanPeakMiB /= float64(len(trials))
+	return s
+}
+
+// RunTrials runs n trials and aggregates them (the paper reports the mean
+// with min/max error bars over three trials).
+func RunTrials(cfg WorkloadConfig, n int) (Summary, error) {
+	if n <= 0 {
+		n = 1
+	}
+	base := cfg
+	trials := make([]TrialResult, 0, n)
+	for _, seed := range TrialSeeds(base.Seed, n) {
+		cfg.Seed = seed
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return Summary{}, err
+		}
+		trials = append(trials, tr)
+	}
+	return SummarizeTrials(base, trials), nil
 }

@@ -1,0 +1,250 @@
+package grid
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/results"
+)
+
+// Progress is one streamed runner event: a trial finished (from cache or
+// execution). Counters are cumulative over the Run call.
+type Progress struct {
+	// Done/Total count trials, not configs (each config contributes one
+	// trial per chained seed).
+	Done, Total int
+	// Executed/Cached partition Done.
+	Executed, Cached int
+	// Key and Config identify the trial that just completed.
+	Key    string
+	Config bench.WorkloadConfig
+	// FromCache is true when the trial was satisfied from the store.
+	FromCache bool
+}
+
+// weighted is a counting semaphore with weighted acquisition. The single
+// dispatching goroutine is the only waiter, so a plain cond suffices.
+type weighted struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newWeighted(capacity int) *weighted {
+	w := &weighted{free: capacity}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *weighted) acquire(n int) {
+	w.mu.Lock()
+	for w.free < n {
+		w.cond.Wait()
+	}
+	w.free -= n
+	w.mu.Unlock()
+}
+
+func (w *weighted) release(n int) {
+	w.mu.Lock()
+	w.free += n
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Runner executes expanded configuration batches. Completed trials are
+// looked up in — and appended to — Store (when set), so a re-run of the
+// same grid against the same store executes nothing, and an interrupted
+// sweep resumes from its last flushed record.
+//
+// Concurrency is bounded two ways: Parallel caps in-flight trials, and each
+// in-flight trial additionally holds cfg.Threads tokens of the global
+// Budget. A 192-thread trial next to a 2-thread trial costs 96× more of
+// the budget, so concurrent trials cannot oversubscribe the host — which
+// would stretch every measured wall clock and distort the modeled-cost
+// percentages that are normalized against it.
+type Runner struct {
+	// Store caches and persists trials; nil disables caching. Trials with
+	// Record set always execute and are never stored: a timeline cannot be
+	// replayed from a JSONL record.
+	Store *results.Store
+	// Parallel is the in-flight trial cap; <= 0 means 1 (strictly serial,
+	// in expansion order — the bit-compatible default).
+	Parallel int
+	// Budget is the thread-token pool; <= 0 means GOMAXPROCS. A trial
+	// needing more tokens than the whole budget is clamped to it (it then
+	// runs alone).
+	Budget int
+	// OnProgress, when set, receives one event per completed trial. Calls
+	// are serialized.
+	OnProgress func(Progress)
+
+	mu       sync.Mutex
+	executed int
+	cached   int
+}
+
+// Counts reports the cumulative executed/cached trial counts across every
+// Run on this runner.
+func (r *Runner) Counts() (executed, cached int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed, r.cached
+}
+
+// Run executes one batch with the GridFunc contract (bench.GridFunc):
+// trials >= 1 runs the RunTrials seed chain per config, trials <= 0 runs a
+// single trial per config with the seed used verbatim. Summaries are
+// returned in input order regardless of execution order.
+func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, error) {
+	parallel := r.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	budget := r.Budget
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct {
+		cfgIdx, trialIdx int
+		cfg              bench.WorkloadConfig
+	}
+	var tasks []task
+	perCfg := make([][]bench.TrialResult, len(cfgs))
+	for i, cfg := range cfgs {
+		seeds := []uint64{cfg.Seed}
+		if trials >= 1 {
+			seeds = bench.TrialSeeds(cfg.Seed, trials)
+		}
+		perCfg[i] = make([]bench.TrialResult, len(seeds))
+		for j, seed := range seeds {
+			c := cfg
+			c.Seed = seed
+			tasks = append(tasks, task{cfgIdx: i, trialIdx: j, cfg: c})
+		}
+	}
+	total := len(tasks)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards the per-Run counters/firstErr and serializes OnProgress
+		done     int
+		executed int
+		cached   int
+		firstErr error
+	)
+	slots := make(chan struct{}, parallel)
+	tokens := newWeighted(budget)
+	cost := func(cfg bench.WorkloadConfig) int {
+		c := cfg.Threads
+		if c > budget {
+			c = budget
+		}
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	finish := func(t task, fromCache bool) {
+		mu.Lock()
+		done++
+		if fromCache {
+			cached++
+		} else {
+			executed++
+		}
+		// Progress counters are per-Run (Executed+Cached == Done); the
+		// runner-lifetime totals behind Counts() update separately.
+		p := Progress{
+			Done: done, Total: total,
+			Executed: executed, Cached: cached,
+			Key: results.KeyOf(t.cfg), Config: t.cfg, FromCache: fromCache,
+		}
+		r.mu.Lock()
+		if fromCache {
+			r.cached++
+		} else {
+			r.executed++
+		}
+		r.mu.Unlock()
+		if r.OnProgress != nil {
+			r.OnProgress(p)
+		}
+		mu.Unlock()
+	}
+
+	for _, t := range tasks {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		// Cache lookup happens in the dispatcher, so hits cost no slot, no
+		// tokens, and no goroutine.
+		if r.Store != nil && !t.cfg.Record {
+			if recs := r.Store.Get(results.KeyOf(t.cfg)); len(recs) > 0 {
+				perCfg[t.cfgIdx][t.trialIdx] = recs[0].Trial
+				finish(t, true)
+				continue
+			}
+		}
+		slots <- struct{}{}
+		w := cost(t.cfg)
+		tokens.acquire(w)
+		wg.Add(1)
+		go func(t task, w int) {
+			defer wg.Done()
+			defer func() {
+				tokens.release(w)
+				<-slots
+			}()
+			tr, err := bench.RunTrial(t.cfg)
+			if err == nil && r.Store != nil && !t.cfg.Record {
+				err = r.Store.Append(results.NewRecord(t.cfg, tr))
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+				}
+				mu.Unlock()
+				return
+			}
+			perCfg[t.cfgIdx][t.trialIdx] = tr
+			finish(t, false)
+		}(t, w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]bench.Summary, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = bench.SummarizeTrials(cfg, perCfg[i])
+	}
+	return out, nil
+}
+
+// GridFunc adapts the runner to bench.Options.RunGrid, the injection point
+// the experiment sweeps route through.
+func (r *Runner) GridFunc() bench.GridFunc { return r.Run }
+
+// RunSpec expands and validates a spec, then runs it. Spec.Trials <= 0 is
+// normalized to 1 here (with the RunTrials seed chain, matching the Spec
+// doc); the verbatim-seed trials<=0 convention belongs to Run's GridFunc
+// contract only.
+func (r *Runner) RunSpec(s Spec) ([]bench.Summary, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	trials := s.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	return r.Run(s.Expand(), trials)
+}

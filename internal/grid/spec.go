@@ -1,0 +1,204 @@
+// Package grid is the experiment grid engine: it expands declarative
+// parameter sweeps (Spec) into explicit workload configurations and
+// executes them through a cache-aware, resource-weighted parallel Runner
+// backed by the content-addressed results store (internal/results).
+//
+// Trials are deterministic given WorkloadConfig + Seed, which is what makes
+// cached execution sound: a store hit under a TrialKey substitutes for
+// re-running the trial, so interrupted sweeps resume where they stopped and
+// identical re-runs complete with zero executions.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ds"
+	"repro/internal/smr"
+)
+
+// Allocators lists the simalloc model names, mirroring ds.Names() and
+// smr.Names() for axis validation.
+func Allocators() []string { return []string{"jemalloc", "tcmalloc", "mimalloc"} }
+
+// Spec declares a parameter sweep as data: the cartesian product of its
+// axes expands to explicit configurations (the PRRS24 config-object idiom —
+// sweeps are values you can print, hash, and re-run). Empty axes inherit
+// the single value from Base.
+type Spec struct {
+	// Base supplies every knob the axes don't sweep (duration, key range,
+	// seed, ...). A zero Base means bench.DefaultWorkload.
+	Base bench.WorkloadConfig
+	// The sweep axes. Expansion order is scenarios (outermost), data
+	// structures, allocators, threads, batch sizes, reclaimers (innermost)
+	// — fixed and documented so rendered tables and stored artifacts are
+	// reproducible.
+	Scenarios      []string
+	DataStructures []string
+	Allocators     []string
+	Threads        []int
+	BatchSizes     []int
+	Reclaimers     []string
+	// Trials per configuration (the RunTrials seed chain); <= 0 means 1.
+	Trials int
+}
+
+// withDefaults returns the spec with every zero Base knob filled from
+// bench.DefaultWorkload (explicit Base values win field by field) and every
+// empty axis collapsed to its Base value.
+func (s Spec) withDefaults() Spec {
+	base := bench.DefaultWorkload(max(s.Base.Threads, 1))
+	if s.Base.Threads == 0 {
+		s.Base.Threads = base.Threads
+	}
+	if s.Base.Scenario == "" {
+		s.Base.Scenario = base.Scenario
+	}
+	if s.Base.DataStructure == "" {
+		s.Base.DataStructure = base.DataStructure
+	}
+	if s.Base.Reclaimer == "" {
+		s.Base.Reclaimer = base.Reclaimer
+	}
+	if s.Base.Allocator == "" {
+		s.Base.Allocator = base.Allocator
+	}
+	if s.Base.KeyRange == 0 {
+		s.Base.KeyRange = base.KeyRange
+	}
+	if s.Base.Duration == 0 {
+		s.Base.Duration = base.Duration
+	}
+	if s.Base.BatchSize == 0 {
+		s.Base.BatchSize = base.BatchSize
+	}
+	if s.Base.DrainRate == 0 {
+		s.Base.DrainRate = base.DrainRate
+	}
+	if s.Base.TokenCheckK == 0 {
+		s.Base.TokenCheckK = base.TokenCheckK
+	}
+	if s.Base.Cost.ThreadsPerSocket == 0 {
+		s.Base.Cost = base.Cost
+	}
+	if s.Base.RecorderCap == 0 {
+		s.Base.RecorderCap = base.RecorderCap
+	}
+	if s.Base.Seed == 0 {
+		s.Base.Seed = base.Seed
+	}
+	if s.Base.YieldEvery == 0 {
+		s.Base.YieldEvery = base.YieldEvery
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = []string{s.Base.Scenario}
+	}
+	if len(s.DataStructures) == 0 {
+		s.DataStructures = []string{s.Base.DataStructure}
+	}
+	if len(s.Allocators) == 0 {
+		s.Allocators = []string{s.Base.Allocator}
+	}
+	if len(s.Threads) == 0 {
+		s.Threads = []int{s.Base.Threads}
+	}
+	if len(s.BatchSizes) == 0 {
+		s.BatchSizes = []int{s.Base.BatchSize}
+	}
+	if len(s.Reclaimers) == 0 {
+		s.Reclaimers = []string{s.Base.Reclaimer}
+	}
+	return s
+}
+
+// Validate checks every axis value against the registries so a bad sweep
+// fails before any trial runs, not mid-grid.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if err := validateNames("scenario", s.Scenarios, bench.Scenarios()); err != nil {
+		return err
+	}
+	if err := validateNames("data structure", s.DataStructures, ds.Names()); err != nil {
+		return err
+	}
+	if err := validateNames("allocator", s.Allocators, Allocators()); err != nil {
+		return err
+	}
+	if err := validateNames("reclaimer", s.Reclaimers, smr.Names()); err != nil {
+		return err
+	}
+	for _, n := range s.Threads {
+		if n <= 0 {
+			return fmt.Errorf("grid: thread count %d must be positive", n)
+		}
+	}
+	for _, b := range s.BatchSizes {
+		if b <= 0 {
+			return fmt.Errorf("grid: batch size %d must be positive", b)
+		}
+	}
+	if s.Base.Duration <= 0 {
+		return fmt.Errorf("grid: duration %v must be positive", s.Base.Duration)
+	}
+	return nil
+}
+
+func validateNames(kind string, got, known []string) error {
+	set := map[string]bool{}
+	for _, k := range known {
+		set[k] = true
+	}
+	for _, g := range got {
+		if !set[g] {
+			return fmt.Errorf("grid: unknown %s %q (have %v)", kind, g, known)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of configurations the spec expands to.
+func (s Spec) Size() int {
+	s = s.withDefaults()
+	return len(s.Scenarios) * len(s.DataStructures) * len(s.Allocators) *
+		len(s.Threads) * len(s.BatchSizes) * len(s.Reclaimers)
+}
+
+// Expand materializes the cartesian product in the documented axis order.
+func (s Spec) Expand() []bench.WorkloadConfig {
+	s = s.withDefaults()
+	cfgs := make([]bench.WorkloadConfig, 0, s.Size())
+	for _, scenario := range s.Scenarios {
+		for _, dsName := range s.DataStructures {
+			for _, alloc := range s.Allocators {
+				for _, threads := range s.Threads {
+					for _, batch := range s.BatchSizes {
+						for _, rec := range s.Reclaimers {
+							cfg := s.Base
+							cfg.Scenario = scenario
+							cfg.DataStructure = dsName
+							cfg.Allocator = alloc
+							cfg.Threads = threads
+							cfg.BatchSize = batch
+							cfg.Reclaimer = rec
+							cfgs = append(cfgs, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// EstimatedWall returns a rough serial wall-time floor for the sweep:
+// trials × duration per config (prefill and teardown excluded). Useful for
+// progress messaging.
+func (s Spec) EstimatedWall() time.Duration {
+	trials := s.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	s = s.withDefaults()
+	return time.Duration(s.Size()*trials) * s.Base.Duration
+}

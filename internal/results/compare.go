@@ -1,0 +1,167 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Class is the regression-diff verdict for one configuration group.
+type Class string
+
+const (
+	// ClassImproved / ClassRegressed: the relative mean-throughput change
+	// exceeds the tolerance in the respective direction.
+	ClassImproved  Class = "improved"
+	ClassRegressed Class = "regressed"
+	// ClassUnchanged: the change is within tolerance (inclusive).
+	ClassUnchanged Class = "unchanged"
+	// ClassOnlyOld / ClassOnlyNew: the group exists in only one store.
+	ClassOnlyOld Class = "only_old"
+	ClassOnlyNew Class = "only_new"
+)
+
+// Tolerances bounds what Compare counts as noise.
+type Tolerances struct {
+	// RelOps is the relative mean ops/sec change (fraction, e.g. 0.05 for
+	// ±5%) within which a group is classified unchanged; the boundary is
+	// inclusive. Zero or negative means the 0.05 default.
+	RelOps float64
+}
+
+const defaultRelOps = 0.05
+
+func (t Tolerances) relOps() float64 {
+	if t.RelOps <= 0 {
+		return defaultRelOps
+	}
+	return t.RelOps
+}
+
+// Delta is one configuration group's old-vs-new comparison.
+type Delta struct {
+	Group string `json:"group"`
+	Label string `json:"label"`
+	// Old/New are the per-store summaries; valid only when the matching
+	// HasOld/HasNew flag is set.
+	Old    Summary `json:"old,omitempty"`
+	New    Summary `json:"new,omitempty"`
+	HasOld bool    `json:"has_old"`
+	HasNew bool    `json:"has_new"`
+	// Rel is (new-old)/old mean ops. When the old mean is zero Rel is 0 by
+	// convention (the class still reflects the change: a zero-to-nonzero
+	// group is improved) so reports stay JSON-encodable.
+	Rel   float64 `json:"rel"`
+	Class Class   `json:"class"`
+}
+
+// Report is the full cross-store diff.
+type Report struct {
+	Tolerance float64 `json:"tolerance"`
+	Deltas    []Delta `json:"deltas"`
+	Improved  int     `json:"improved"`
+	Regressed int     `json:"regressed"`
+	Unchanged int     `json:"unchanged"`
+	OnlyOld   int     `json:"only_old"`
+	OnlyNew   int     `json:"only_new"`
+}
+
+// classify applies the tolerance to a both-sides delta. The boundary is
+// inclusive: |rel| == tol is unchanged.
+func classify(oldMean, newMean, tol float64) (rel float64, class Class) {
+	if oldMean == 0 {
+		if newMean == 0 {
+			return 0, ClassUnchanged
+		}
+		return 0, ClassImproved
+	}
+	rel = (newMean - oldMean) / oldMean
+	switch {
+	case rel > tol:
+		return rel, ClassImproved
+	case rel < -tol:
+		return rel, ClassRegressed
+	default:
+		return rel, ClassUnchanged
+	}
+}
+
+// Compare diffs two stores group-by-group and classifies every
+// configuration as improved, regressed, unchanged, or present on one side
+// only. Deltas are sorted by label for deterministic reports.
+func Compare(oldStore, newStore *Store, tol Tolerances) Report {
+	rep := Report{Tolerance: tol.relOps()}
+	oldSums := map[string]Summary{}
+	for _, s := range oldStore.Summaries() {
+		oldSums[s.Group] = s
+	}
+	newSums := map[string]Summary{}
+	for _, s := range newStore.Summaries() {
+		newSums[s.Group] = s
+	}
+	for group, o := range oldSums {
+		d := Delta{Group: group, Label: o.Label, Old: o, HasOld: true}
+		if n, ok := newSums[group]; ok {
+			d.New, d.HasNew = n, true
+			d.Rel, d.Class = classify(o.MeanOps, n.MeanOps, rep.Tolerance)
+		} else {
+			d.Class = ClassOnlyOld
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for group, n := range newSums {
+		if _, ok := oldSums[group]; ok {
+			continue
+		}
+		rep.Deltas = append(rep.Deltas, Delta{
+			Group: group, Label: n.Label, New: n, HasNew: true, Class: ClassOnlyNew,
+		})
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Label != rep.Deltas[j].Label {
+			return rep.Deltas[i].Label < rep.Deltas[j].Label
+		}
+		return rep.Deltas[i].Group < rep.Deltas[j].Group
+	})
+	for _, d := range rep.Deltas {
+		switch d.Class {
+		case ClassImproved:
+			rep.Improved++
+		case ClassRegressed:
+			rep.Regressed++
+		case ClassUnchanged:
+			rep.Unchanged++
+		case ClassOnlyOld:
+			rep.OnlyOld++
+		case ClassOnlyNew:
+			rep.OnlyNew++
+		}
+	}
+	return rep
+}
+
+// String renders the report as an aligned text table plus a totals line.
+func (r Report) String() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\told ops/s\tnew ops/s\tdelta\tclass")
+	for _, d := range r.Deltas {
+		oldOps, newOps, delta := "-", "-", "-"
+		if d.HasOld {
+			oldOps = fmt.Sprintf("%.0f", d.Old.MeanOps)
+		}
+		if d.HasNew {
+			newOps = fmt.Sprintf("%.0f", d.New.MeanOps)
+		}
+		if d.HasOld && d.HasNew {
+			delta = fmt.Sprintf("%+.1f%%", 100*d.Rel)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", d.Label, oldOps, newOps, delta, d.Class)
+	}
+	w.Flush()
+	fmt.Fprintf(&sb,
+		"tolerance ±%.1f%%: %d improved, %d regressed, %d unchanged, %d only-old, %d only-new\n",
+		100*r.Tolerance, r.Improved, r.Regressed, r.Unchanged, r.OnlyOld, r.OnlyNew)
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package results
+
+import (
+	"strings"
+	"testing"
+)
+
+// addGroup appends one single-trial record with the given reclaimer (the
+// axis that separates groups in these tests) and throughput.
+func addGroup(t *testing.T, st *Store, reclaimer string, ops float64) {
+	t.Helper()
+	cfg := testConfig(2, 1)
+	cfg.Reclaimer = reclaimer
+	if err := st.Append(testRecord(cfg, ops)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findDelta(t *testing.T, rep Report, reclaimer string) Delta {
+	t.Helper()
+	for _, d := range rep.Deltas {
+		if strings.Contains(d.Label, "/"+reclaimer+"/") {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", reclaimer, rep.Deltas)
+	return Delta{}
+}
+
+func TestCompareClassifiesDirections(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addGroup(t, oldSt, "debra", 100)
+	addGroup(t, newSt, "debra", 120) // +20% > 5% tolerance
+	addGroup(t, oldSt, "token_af", 100)
+	addGroup(t, newSt, "token_af", 80) // -20% < -5%
+	addGroup(t, oldSt, "hp", 100)
+	addGroup(t, newSt, "hp", 102) // +2% within tolerance
+
+	rep := Compare(oldSt, newSt, Tolerances{})
+	if c := findDelta(t, rep, "debra").Class; c != ClassImproved {
+		t.Fatalf("debra class = %s", c)
+	}
+	if c := findDelta(t, rep, "token_af").Class; c != ClassRegressed {
+		t.Fatalf("token_af class = %s", c)
+	}
+	if c := findDelta(t, rep, "hp").Class; c != ClassUnchanged {
+		t.Fatalf("hp class = %s", c)
+	}
+	if rep.Improved != 1 || rep.Regressed != 1 || rep.Unchanged != 1 {
+		t.Fatalf("totals: %+v", rep)
+	}
+}
+
+func TestCompareKeyOnlyInOneStore(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addGroup(t, oldSt, "debra", 100)   // vanishes in new
+	addGroup(t, newSt, "token_af", 90) // appears in new
+	addGroup(t, oldSt, "hp", 50)       // stays
+	addGroup(t, newSt, "hp", 50)
+
+	rep := Compare(oldSt, newSt, Tolerances{})
+	d := findDelta(t, rep, "debra")
+	if d.Class != ClassOnlyOld || !d.HasOld || d.HasNew {
+		t.Fatalf("only-old delta wrong: %+v", d)
+	}
+	d = findDelta(t, rep, "token_af")
+	if d.Class != ClassOnlyNew || d.HasOld || !d.HasNew {
+		t.Fatalf("only-new delta wrong: %+v", d)
+	}
+	if rep.OnlyOld != 1 || rep.OnlyNew != 1 || rep.Unchanged != 1 {
+		t.Fatalf("totals: %+v", rep)
+	}
+	// One-sided groups must never count as regressions (the CI gate keys
+	// off Regressed).
+	if rep.Regressed != 0 {
+		t.Fatalf("one-sided groups counted as regressed: %+v", rep)
+	}
+}
+
+func TestCompareZeroThroughput(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addGroup(t, oldSt, "debra", 0)
+	addGroup(t, newSt, "debra", 100) // zero → nonzero: improved, Rel stays finite
+	addGroup(t, oldSt, "token_af", 0)
+	addGroup(t, newSt, "token_af", 0) // zero → zero: unchanged
+	addGroup(t, oldSt, "hp", 100)
+	addGroup(t, newSt, "hp", 0) // nonzero → zero: regressed (-100%)
+
+	rep := Compare(oldSt, newSt, Tolerances{})
+	d := findDelta(t, rep, "debra")
+	if d.Class != ClassImproved || d.Rel != 0 {
+		t.Fatalf("zero→nonzero: %+v", d)
+	}
+	if c := findDelta(t, rep, "token_af").Class; c != ClassUnchanged {
+		t.Fatalf("zero→zero class = %s", c)
+	}
+	d = findDelta(t, rep, "hp")
+	if d.Class != ClassRegressed || d.Rel != -1 {
+		t.Fatalf("nonzero→zero: %+v", d)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	tol := Tolerances{RelOps: 0.10}
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addGroup(t, oldSt, "debra", 100)
+	addGroup(t, newSt, "debra", 90) // exactly -10%: boundary is inclusive → unchanged
+	addGroup(t, oldSt, "token_af", 100)
+	addGroup(t, newSt, "token_af", 89.9) // just beyond → regressed
+	addGroup(t, oldSt, "hp", 100)
+	addGroup(t, newSt, "hp", 110) // exactly +10% → unchanged
+	addGroup(t, oldSt, "he", 100)
+	addGroup(t, newSt, "he", 110.1) // just beyond → improved
+
+	rep := Compare(oldSt, newSt, tol)
+	if c := findDelta(t, rep, "debra").Class; c != ClassUnchanged {
+		t.Fatalf("-10%% at tol 10%% = %s, want unchanged", c)
+	}
+	if c := findDelta(t, rep, "token_af").Class; c != ClassRegressed {
+		t.Fatalf("-10.1%% at tol 10%% = %s, want regressed", c)
+	}
+	if c := findDelta(t, rep, "hp").Class; c != ClassUnchanged {
+		t.Fatalf("+10%% at tol 10%% = %s, want unchanged", c)
+	}
+	if c := findDelta(t, rep, "he").Class; c != ClassImproved {
+		t.Fatalf("+10.1%% at tol 10%% = %s, want improved", c)
+	}
+}
+
+func TestCompareReportRenders(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addGroup(t, oldSt, "debra", 100)
+	addGroup(t, newSt, "debra", 100)
+	out := Compare(oldSt, newSt, Tolerances{}).String()
+	if !strings.Contains(out, "unchanged") || !strings.Contains(out, "debra") {
+		t.Fatalf("report rendering lost content:\n%s", out)
+	}
+}

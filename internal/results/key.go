@@ -1,0 +1,118 @@
+// Package results is the content-addressed results store for the benchmark
+// harness: every executed trial is persisted as a Record keyed by a stable
+// hash of its full configuration, so sweeps are resumable (a re-run skips
+// every key already in the store), results survive across PRs as JSONL
+// artifacts, and two stores can be diffed into a regression report
+// (Compare) instead of eyeballing stdout tables.
+//
+// Two keys address each record. The TrialKey (KeyOf) hashes the normalized
+// WorkloadConfig including the seed — it identifies one exact trial, and is
+// the cache key for skip-on-rerun. The GroupKey (GroupOf) hashes the same
+// configuration with the seed zeroed — it identifies the configuration
+// across its repeated trials, and is the aggregation unit for Summary
+// statistics and cross-store comparison.
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/simalloc"
+)
+
+// SchemaVersion identifies the record layout and the key-normalization
+// rules. It is hashed into every key, so bumping it orphans (but does not
+// corrupt) existing stores: old records simply stop matching new keys.
+const SchemaVersion = 1
+
+// Normalize fills the configuration defaults that the harness would apply
+// at run time (RunTrial, NewStack, smr.Config.fillDefaults), so that a
+// zero-valued knob and its explicit default hash to the same key. The
+// normalization is deliberately conservative: knobs whose defaults depend
+// on scenario-internal logic keep their zero values, which can only
+// under-share the cache, never mis-share it.
+func Normalize(cfg bench.WorkloadConfig) bench.WorkloadConfig {
+	if cfg.Scenario == "" {
+		cfg.Scenario = "paper"
+	}
+	if cfg.Cost.ThreadsPerSocket == 0 {
+		cfg.Cost = simalloc.Intel192()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 2048
+	}
+	if cfg.DrainRate <= 0 {
+		cfg.DrainRate = 1
+	}
+	if cfg.TokenCheckK <= 0 {
+		cfg.TokenCheckK = 100
+	}
+	if cfg.EraFreq <= 0 {
+		cfg.EraFreq = 64
+	}
+	if cfg.YieldEvery == 0 {
+		cfg.YieldEvery = 1
+	}
+	if cfg.Threads > 0 {
+		acfg := simalloc.DefaultConfig(cfg.Threads)
+		if cfg.TCacheCap <= 0 {
+			cfg.TCacheCap = acfg.TCacheCap
+		}
+		if cfg.FlushFraction <= 0 {
+			cfg.FlushFraction = acfg.FlushFraction
+		}
+		if cfg.ArenasPerThread <= 0 {
+			cfg.ArenasPerThread = acfg.ArenasPerThread
+		}
+	}
+	if !cfg.Record {
+		cfg.RecorderCap = 0
+	} else if cfg.RecorderCap <= 0 {
+		cfg.RecorderCap = 100000
+	}
+	return cfg
+}
+
+// hashConfig produces the hex digest of the canonical JSON encoding of a
+// normalized configuration under the current schema version. Struct fields
+// marshal in declaration order, so the encoding — and therefore the key —
+// is stable as long as WorkloadConfig's field order is.
+func hashConfig(cfg bench.WorkloadConfig) string {
+	b, err := json.Marshal(struct {
+		Schema int
+		Config bench.WorkloadConfig
+	}{SchemaVersion, cfg})
+	if err != nil {
+		// WorkloadConfig is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("results: hashing config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// KeyOf returns the TrialKey: the content address of one exact trial
+// (normalized configuration including the seed). Trials are deterministic
+// given config + seed, so a store hit under this key substitutes for
+// re-execution.
+func KeyOf(cfg bench.WorkloadConfig) string {
+	return hashConfig(Normalize(cfg))
+}
+
+// GroupOf returns the GroupKey: the content address of the configuration
+// with the seed zeroed, shared by all trials (seeds) of that configuration.
+func GroupOf(cfg bench.WorkloadConfig) string {
+	n := Normalize(cfg)
+	n.Seed = 0
+	return hashConfig(n)
+}
+
+// Label renders a configuration as a compact human-readable group label
+// for reports: scenario/ds/allocator/reclaimer/threads/batch.
+func Label(cfg bench.WorkloadConfig) string {
+	n := Normalize(cfg)
+	return fmt.Sprintf("%s/%s/%s/%s/t%d/b%d",
+		n.Scenario, n.DataStructure, n.Allocator, n.Reclaimer, n.Threads, n.BatchSize)
+}

@@ -1,0 +1,224 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func testConfig(threads int, seed uint64) bench.WorkloadConfig {
+	cfg := bench.DefaultWorkload(threads)
+	cfg.Seed = seed
+	return cfg
+}
+
+func testRecord(cfg bench.WorkloadConfig, ops float64) Record {
+	return NewRecord(cfg, bench.TrialResult{
+		Scenario:  cfg.Scenario,
+		Seed:      cfg.Seed,
+		OpsPerSec: ops,
+		PeakMiB:   1.5,
+	})
+}
+
+func TestKeyStability(t *testing.T) {
+	cfg := testConfig(4, 7)
+	if KeyOf(cfg) != KeyOf(cfg) {
+		t.Fatal("KeyOf not deterministic")
+	}
+	other := cfg
+	other.Reclaimer = "token_af"
+	if KeyOf(cfg) == KeyOf(other) {
+		t.Fatal("different reclaimers share a key")
+	}
+}
+
+func TestKeyNormalizationEquivalences(t *testing.T) {
+	// A zero-valued knob and its harness-applied default must share a key.
+	base := testConfig(4, 7)
+	zeroed := base
+	zeroed.Scenario = ""
+	zeroed.BatchSize = 0
+	zeroed.DrainRate = 0
+	zeroed.TokenCheckK = 0
+	zeroed.YieldEvery = 0
+	zeroed.Cost.ThreadsPerSocket = 0
+	filled := base
+	filled.Scenario = "paper"
+	filled.BatchSize = 2048
+	filled.DrainRate = 1
+	filled.TokenCheckK = 100
+	filled.YieldEvery = 1
+	if KeyOf(zeroed) != KeyOf(filled) {
+		t.Fatal("zero knobs and explicit defaults hash differently")
+	}
+}
+
+func TestSeedSeparatesKeysButNotGroups(t *testing.T) {
+	a := testConfig(4, 1)
+	b := testConfig(4, 2)
+	if KeyOf(a) == KeyOf(b) {
+		t.Fatal("different seeds share a TrialKey")
+	}
+	if GroupOf(a) != GroupOf(b) {
+		t.Fatal("different seeds split the GroupKey")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		testRecord(testConfig(2, 1), 100),
+		testRecord(testConfig(2, 2), 120),
+		testRecord(testConfig(4, 1), 300),
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(recs) {
+		t.Fatalf("reloaded %d records, want %d", re.Len(), len(recs))
+	}
+	for _, r := range recs {
+		if !re.Has(r.Key) {
+			t.Fatalf("key %s lost on reload", r.Key)
+		}
+		got := re.Get(r.Key)
+		if len(got) != 1 || got[0].Trial.OpsPerSec != r.Trial.OpsPerSec {
+			t.Fatalf("record under %s corrupted: %+v", r.Key, got)
+		}
+		if got[0].Seed != r.Config.Seed {
+			t.Fatalf("seed not self-described: %+v", got[0])
+		}
+	}
+	if len(re.Keys()) != 3 {
+		t.Fatalf("keys = %v", re.Keys())
+	}
+}
+
+func TestStoreSkipsTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testRecord(testConfig(2, 1), 100)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Simulate an interrupted append: a half-written trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("torn line not skipped: %d records", re.Len())
+	}
+	// The store must remain appendable after a torn tail.
+	if err := re.Append(testRecord(testConfig(2, 2), 120)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDedupesByKey(t *testing.T) {
+	a := NewMemStore()
+	b := NewMemStore()
+	shared := testRecord(testConfig(2, 1), 100)
+	only := testRecord(testConfig(2, 2), 120)
+	if err := a.Append(shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(only); err != nil {
+		t.Fatal(err)
+	}
+	added, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || a.Len() != 2 {
+		t.Fatalf("merge added %d (len %d), want 1 (len 2)", added, a.Len())
+	}
+}
+
+func TestSummariesStatistics(t *testing.T) {
+	st := NewMemStore()
+	for i, ops := range []float64{100, 200, 300} {
+		if err := st.Append(testRecord(testConfig(2, uint64(i+1)), ops)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1 group", len(sums))
+	}
+	s := sums[0]
+	if s.N != 3 || s.MeanOps != 200 || s.MinOps != 100 || s.MaxOps != 300 {
+		t.Fatalf("bad aggregates: %+v", s)
+	}
+	if math.Abs(s.StdDevOps-100) > 1e-9 {
+		t.Fatalf("stddev = %v, want 100", s.StdDevOps)
+	}
+	wantCI := 1.96 * 100 / math.Sqrt(3)
+	if math.Abs(s.CI95Ops-wantCI) > 1e-9 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95Ops, wantCI)
+	}
+	if len(s.Seeds) != 3 || s.Seeds[0] != 1 || s.Seeds[2] != 3 {
+		t.Fatalf("seeds = %v", s.Seeds)
+	}
+	if s.Config.Seed != 0 {
+		t.Fatalf("representative config keeps a seed: %d", s.Config.Seed)
+	}
+}
+
+func TestDumpJSONL(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Append(testRecord(testConfig(2, 1), 100)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("expected 1 line, got %d: %q", n, buf.String())
+	}
+	re := NewMemStore()
+	if err := re.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reload len = %d", re.Len())
+	}
+}

@@ -1,0 +1,258 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+)
+
+// Record is one persisted trial: the content-address keys, the normalized
+// configuration that produced it (self-describing — the record alone is
+// enough to re-execute the trial), and the measured result. Records are
+// stored one per line as JSON (JSONL), so stores append cheaply, survive
+// interruption (a torn final line is skipped on load), and diff/merge with
+// line tools.
+type Record struct {
+	// Key is the TrialKey (KeyOf): config + seed, the cache address.
+	Key string `json:"key"`
+	// Group is the GroupKey (GroupOf): config with seed zeroed, the
+	// aggregation address.
+	Group string `json:"group"`
+	// Schema is the SchemaVersion the record was written under.
+	Schema int `json:"schema"`
+	// Seed is the exact per-thread RNG seed the trial ran with (duplicated
+	// from Config for greppability).
+	Seed uint64 `json:"seed"`
+	// Config is the normalized workload configuration.
+	Config bench.WorkloadConfig `json:"config"`
+	// Trial is the measured result (timeline recorder excluded).
+	Trial bench.TrialResult `json:"trial"`
+}
+
+// NewRecord builds the Record for an executed trial. The configuration is
+// normalized before storage; the trial's Recorder (if any) is dropped —
+// recorded trials should not be persisted as cache entries, since replaying
+// them from the store could not reproduce the timeline.
+func NewRecord(cfg bench.WorkloadConfig, tr bench.TrialResult) Record {
+	n := Normalize(cfg)
+	tr.Recorder = nil
+	return Record{
+		Key:    KeyOf(cfg),
+		Group:  GroupOf(cfg),
+		Schema: SchemaVersion,
+		Seed:   n.Seed,
+		Config: n,
+		Trial:  tr,
+	}
+}
+
+// Store holds trial records indexed by TrialKey, optionally backed by a
+// JSONL file that every Append flushes to. All methods are safe for
+// concurrent use (the grid runner appends from worker goroutines).
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	recs  []Record
+	byKey map[string][]int
+}
+
+// NewMemStore creates an unbacked in-memory store.
+func NewMemStore() *Store {
+	return &Store{byKey: map[string][]int{}}
+}
+
+// Open loads the JSONL store at path (which may not exist yet) and keeps it
+// open for appending. Unparsable lines — e.g. a final line torn by an
+// interrupted run — are skipped, so a store is always resumable. The file
+// is opened O_APPEND so each record's single write lands atomically at the
+// true end even when two processes share the store.
+func Open(path string) (*Store, error) {
+	s := NewMemStore()
+	s.path = path
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	if err := s.load(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// Load reads JSONL records from r into the store (in addition to whatever
+// it already holds). Unparsable lines are skipped.
+func (s *Store) Load(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(r)
+}
+
+func (s *Store) load(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn or foreign line; skip so resume always works
+		}
+		s.add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("results: reading store: %w", err)
+	}
+	return nil
+}
+
+// add indexes a record; caller holds mu.
+func (s *Store) add(rec Record) {
+	s.byKey[rec.Key] = append(s.byKey[rec.Key], len(s.recs))
+	s.recs = append(s.recs, rec)
+}
+
+// appendLocked writes and indexes one record; caller holds mu.
+func (s *Store) appendLocked(rec Record) error {
+	if s.f != nil {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("results: encoding record: %w", err)
+		}
+		if _, err := s.f.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("results: appending record: %w", err)
+		}
+	}
+	s.add(rec)
+	return nil
+}
+
+// Append adds a record to the store and, when file-backed, flushes it as
+// one JSONL line before returning, so an interrupted sweep keeps every
+// completed trial.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(rec)
+}
+
+// Merge appends every record from other whose TrialKey is not yet present
+// (content addressing makes key-equality mean trial-identity) and reports
+// how many were added. The check-and-append runs under one lock, so
+// concurrent Merge/Append calls cannot double-insert a key.
+func (s *Store) Merge(other *Store) (int, error) {
+	recs := other.Records() // other's lock first, before taking s.mu
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	for _, rec := range recs {
+		if _, dup := s.byKey[rec.Key]; dup {
+			continue
+		}
+		if err := s.appendLocked(rec); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+// Has reports whether any record exists under the TrialKey.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey[key]) > 0
+}
+
+// Get returns the records stored under the TrialKey.
+func (s *Store) Get(key string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.byKey[key]
+	out := make([]Record, len(idx))
+	for i, j := range idx {
+		out[i] = s.recs[j]
+	}
+	return out
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Keys returns the distinct TrialKeys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Records returns a copy of all records in append order.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Query returns the records matching pred, in append order.
+func (s *Store) Query(pred func(Record) bool) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, rec := range s.recs {
+		if pred(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Dump writes the store as JSONL.
+func (s *Store) Dump(w io.Writer) error {
+	for _, rec := range s.Records() {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Path returns the backing file path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Close releases the backing file, if any. The in-memory index stays
+// usable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,104 @@
+package results
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// Summary aggregates every stored trial of one configuration group
+// (GroupKey) into the statistics a regression diff needs. With a single
+// trial the spread statistics are zero.
+type Summary struct {
+	// Group is the GroupKey the trials share.
+	Group string `json:"group"`
+	// Label is the human-readable configuration label.
+	Label string `json:"label"`
+	// Config is a representative configuration with the seed zeroed.
+	Config bench.WorkloadConfig `json:"config"`
+	// Seeds lists the trial seeds in ascending order, so a summary is
+	// traceable back to the exact RNG streams behind it.
+	Seeds []uint64 `json:"seeds"`
+	// N is the number of trials.
+	N int `json:"n"`
+	// MeanOps/StdDevOps are the sample mean and (n-1) sample standard
+	// deviation of ops/sec; CI95Ops is the 95% confidence half-width under
+	// the normal approximation (1.96·sd/√n).
+	MeanOps   float64 `json:"mean_ops"`
+	StdDevOps float64 `json:"stddev_ops"`
+	CI95Ops   float64 `json:"ci95_ops"`
+	MinOps    float64 `json:"min_ops"`
+	MaxOps    float64 `json:"max_ops"`
+	// MeanPeakMiB is the mean allocator high-water mark.
+	MeanPeakMiB float64 `json:"mean_peak_mib"`
+	// Mean modeled-cost percentages (the paper's perf shares).
+	MeanPctFree  float64 `json:"mean_pct_free"`
+	MeanPctFlush float64 `json:"mean_pct_flush"`
+	MeanPctLock  float64 `json:"mean_pct_lock"`
+}
+
+// summarize reduces one group's records. recs must be non-empty.
+func summarize(recs []Record) Summary {
+	s := Summary{
+		Group:  recs[0].Group,
+		Label:  Label(recs[0].Config),
+		Config: recs[0].Config,
+		N:      len(recs),
+		MinOps: recs[0].Trial.OpsPerSec,
+		MaxOps: recs[0].Trial.OpsPerSec,
+	}
+	s.Config.Seed = 0
+	for _, r := range recs {
+		ops := r.Trial.OpsPerSec
+		s.Seeds = append(s.Seeds, r.Seed)
+		s.MeanOps += ops
+		s.MeanPeakMiB += r.Trial.PeakMiB
+		s.MeanPctFree += r.Trial.PctFree
+		s.MeanPctFlush += r.Trial.PctFlush
+		s.MeanPctLock += r.Trial.PctLock
+		if ops < s.MinOps {
+			s.MinOps = ops
+		}
+		if ops > s.MaxOps {
+			s.MaxOps = ops
+		}
+	}
+	n := float64(len(recs))
+	s.MeanOps /= n
+	s.MeanPeakMiB /= n
+	s.MeanPctFree /= n
+	s.MeanPctFlush /= n
+	s.MeanPctLock /= n
+	if len(recs) > 1 {
+		var ss float64
+		for _, r := range recs {
+			d := r.Trial.OpsPerSec - s.MeanOps
+			ss += d * d
+		}
+		s.StdDevOps = math.Sqrt(ss / (n - 1))
+		s.CI95Ops = 1.96 * s.StdDevOps / math.Sqrt(n)
+	}
+	sort.Slice(s.Seeds, func(i, j int) bool { return s.Seeds[i] < s.Seeds[j] })
+	return s
+}
+
+// Summaries reduces the store to one Summary per configuration group,
+// sorted by label then group key for deterministic output.
+func (s *Store) Summaries() []Summary {
+	groups := map[string][]Record{}
+	for _, rec := range s.Records() {
+		groups[rec.Group] = append(groups[rec.Group], rec)
+	}
+	out := make([]Summary, 0, len(groups))
+	for _, recs := range groups {
+		out = append(out, summarize(recs))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}

@@ -1,5 +1,7 @@
 package simalloc
 
+import "sync/atomic"
+
 // Calibrated busy work standing in for memory-system latency. The simulated
 // allocators charge spin work instead of sleeping so that (a) the work scales
 // the same way real bookkeeping does when performed while holding a lock,
@@ -18,7 +20,10 @@ type sinkSlot struct {
 var spinSinks [1024]sinkSlot
 
 // spinWork performs n units of ALU work attributable to simulated thread
-// tid. The mixing keeps the loop non-collapsible by the compiler.
+// tid. The mixing keeps the loop non-collapsible by the compiler. The sink
+// store is atomic because concurrent trials in one process (the grid
+// runner) share slots: trial A's thread 0 and trial B's thread 0 both land
+// on slot 0. The value is write-only noise, but the race would be real.
 func spinWork(tid, n int) {
 	var x uint64 = uint64(tid)*0x9e3779b97f4a7c15 + 1
 	for i := 0; i < n; i++ {
@@ -26,5 +31,5 @@ func spinWork(tid, n int) {
 		x ^= x >> 7
 		x ^= x << 17
 	}
-	spinSinks[tid&1023].v = x
+	atomic.StoreUint64(&spinSinks[tid&1023].v, x)
 }

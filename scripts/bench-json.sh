@@ -1,20 +1,35 @@
 #!/usr/bin/env bash
-# bench-json.sh — run the benchmark smoke suite and emit the results as a
-# JSON artifact (default BENCH_2.json), starting the repo's perf trajectory:
-# each perf PR records a BENCH_<pr>.json so speedups and regressions are
-# measured across PRs, not asserted.
+# bench-json.sh — run the benchmark smoke suite plus a small experiment-grid
+# sweep and emit both as one JSON artifact, continuing the repo's perf
+# trajectory: each perf PR records a BENCH_<pr>.json so speedups and
+# regressions are measured across PRs, not asserted.
 #
-# Usage: scripts/bench-json.sh [output.json]
-# Env:   BENCHTIME=200ms  go test -benchtime value
+# Usage: scripts/bench-json.sh <pr-number | output.json>
+#        scripts/bench-json.sh 3            # writes BENCH_3.json
+#        scripts/bench-json.sh results.json # writes results.json
+# Env:   BENCHTIME=200ms   go test -benchtime value
+#        GRID_DUR=40ms     per-trial window of the grid smoke sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_2.json}"
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 <pr-number | output.json>" >&2
+  exit 2
+fi
+case "$1" in
+  *[!0-9]*) out="$1" ;;
+  *) out="BENCH_$1.json" ;;
+esac
 benchtime="${BENCHTIME:-200ms}"
+grid_dur="${GRID_DUR:-40ms}"
 
 raw="$(go test -run=NONE -bench=. -benchtime="$benchtime" ./internal/...)"
 printf '%s\n' "$raw"
 
-printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+printf '%s\n' "$raw" | awk '
 BEGIN { n = 0 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ {
@@ -28,12 +43,26 @@ BEGIN { n = 0 }
   lines[n++] = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", pkg, name, iters, metrics)
 }
 END {
-  print "{"
-  printf "  \"benchtime\": \"%s\",\n", benchtime
-  print "  \"benchmarks\": ["
+  print "["
   for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
   print "  ]"
-  print "}"
 }
-' > "$out"
+' > "$tmpdir/benchmarks.json"
+
+# Grid smoke: a scenario × reclaimer sweep through the experiment grid
+# engine, emitted as JSON (summaries carry the seeds they aggregate).
+go run ./cmd/epochgrid \
+  -scenarios paper,zipf -reclaimers debra,debra_af,token_af -threads 4 \
+  -dur "$grid_dur" -keyrange 4096 -trials 2 \
+  -format json -out "$tmpdir/grid.json"
+
+{
+  printf '{\n'
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "benchmarks": '
+  cat "$tmpdir/benchmarks.json"
+  printf ',\n  "grid": '
+  cat "$tmpdir/grid.json"
+  printf '}\n'
+} > "$out"
 echo "wrote $out"
