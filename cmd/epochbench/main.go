@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -41,6 +42,7 @@ func realMain() int {
 		threads    = flag.String("threads", "", "comma-separated thread sweep (default: paper counts)")
 		at         = flag.Int("at", 0, "thread count for single-point experiments (default 192)")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
+		fixedOps   = flag.Int("ops", 0, "run exactly N ops per thread instead of the wall-clock window (deterministic with 1 thread)")
 		trials     = flag.Int("trials", 0, "trials per configuration (default 1)")
 		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
 		batch      = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
@@ -54,34 +56,76 @@ func realMain() int {
 	)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
+	// Profiles capture the measured work, not the setup: capture starts only
+	// after the first trial's prefill completes (bench.OnFirstPrefillDone),
+	// so a single-trial profiling run — the typical -cpuprofile invocation —
+	// covers exactly the measured window. CPU capture simply starts late;
+	// allocation sampling is disabled up front and re-enabled at the same
+	// point, so the heap profile excludes the prefill's churn too.
+	var prefillFired, cpuStarted atomic.Bool
+	if *cpuprofile != "" || *memprofile != "" {
+		var cpuFile *os.File
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
-				return
+				fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
+				return 1
 			}
-			defer f.Close()
-			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
+			cpuFile = f
+			defer func() {
+				if cpuStarted.Load() {
+					pprof.StopCPUProfile()
+					f.Close()
+					return
+				}
+				// Capture never started: an empty pprof file would only
+				// confuse `go tool pprof`, so remove it and say why — either
+				// no trial executed a prefill (e.g. every trial was a store
+				// cache hit, or the run failed before its first trial), or
+				// StartCPUProfile itself failed (already reported).
+				f.Close()
+				os.Remove(*cpuprofile)
+				if !prefillFired.Load() {
+					fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: no trial ran a prefill, nothing captured; removed %s\n", *cpuprofile)
+				} else {
+					fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: capture failed to start; removed %s\n", *cpuprofile)
+				}
+			}()
+		}
+		memRate := runtime.MemProfileRate
+		if *memprofile != "" {
+			runtime.MemProfileRate = 0 // no sampling until the window opens
+			defer func() {
+				if !prefillFired.Load() {
+					fmt.Fprintf(os.Stderr, "epochbench: memprofile: no trial ran a prefill, nothing sampled; skipping %s\n", *memprofile)
+					return
+				}
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the final live set
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "epochbench: memprofile: %v\n", err)
+				}
+			}()
+		}
+		bench.OnFirstPrefillDone(func() {
+			prefillFired.Store(true)
+			if cpuFile != nil {
+				if err := pprof.StartCPUProfile(cpuFile); err != nil {
+					fmt.Fprintf(os.Stderr, "epochbench: cpuprofile: %v\n", err)
+				} else {
+					cpuStarted.Store(true)
+				}
 			}
-		}()
+			// Heap sampling resumes regardless of the CPU profile's fate.
+			if *memprofile != "" {
+				runtime.MemProfileRate = memRate
+			}
+		})
 	}
 
 	if *list {
@@ -111,6 +155,7 @@ func realMain() int {
 	opts := bench.Options{
 		AtThreads:     *at,
 		Duration:      *dur,
+		FixedOps:      *fixedOps,
 		Trials:        *trials,
 		KeyRange:      *keyrange,
 		BatchSize:     *batch,

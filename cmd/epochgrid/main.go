@@ -49,6 +49,7 @@ func realMain() int {
 		batches    = flag.String("batches", "", "comma-separated limbo batch-size axis (default: 2048)")
 		trials     = flag.Int("trials", 1, "trials per configuration (seed chain)")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
+		fixedOps   = flag.Int("ops", 0, "run exactly N ops per thread instead of the wall-clock window (deterministic with 1 thread)")
 		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
 		seed       = flag.Uint64("seed", 0, "base RNG seed (default 1)")
 		storePath  = flag.String("store", "", "JSONL results store: cache hits skip execution, completed trials append")
@@ -86,6 +87,9 @@ func realMain() int {
 	spec.Base = bench.DefaultWorkload(4)
 	if *dur > 0 {
 		spec.Base.Duration = *dur
+	}
+	if *fixedOps > 0 {
+		spec.Base.FixedOps = *fixedOps
 	}
 	if *keyrange > 0 {
 		spec.Base.KeyRange = *keyrange

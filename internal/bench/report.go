@@ -26,6 +26,11 @@ type Options struct {
 	// BatchSize is the limbo-bag threshold (Experiment 2 fixes 32768 in
 	// the paper; scaled default 2048).
 	BatchSize int
+	// FixedOps, when positive, runs every trial for exactly FixedOps ops per
+	// thread instead of the wall-clock Duration window (see
+	// WorkloadConfig.FixedOps): deterministic single-threaded trials, a
+	// variance-free trial type for sweeps.
+	FixedOps int
 	// DataStructure overrides the default ABtree (fig13/14 use "dgtree").
 	DataStructure string
 	// Scenario selects the workload scenario (see Scenarios()); the
@@ -89,6 +94,7 @@ func (o *Options) fill() {
 func (o *Options) workload(threads int) WorkloadConfig {
 	cfg := DefaultWorkload(threads)
 	cfg.Duration = o.Duration
+	cfg.FixedOps = o.FixedOps
 	cfg.KeyRange = o.KeyRange
 	cfg.BatchSize = o.BatchSize
 	cfg.DataStructure = o.DataStructure

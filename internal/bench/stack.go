@@ -84,6 +84,9 @@ func NewStack(cfg WorkloadConfig) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.LegacyDispatch {
+		reclaimer = smr.LegacyDispatch(reclaimer)
+	}
 	s.Reclaimer = reclaimer
 
 	set, err := ds.New(cfg.DataStructure, alloc, reclaimer)
@@ -125,11 +128,12 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, s.cfg.Threads)
 	res.Recorder = s.Recorder
 
-	// Host-overhead self-report (see TrialResult): an estimate of the clock
-	// stamps the hot paths took, times the calibrated read cost. Recorded
+	// Host-overhead self-report (see TrialResult). The allocator counts its
+	// own stamps exactly (Stats.ClockReads — all on slow paths; tcache-hit
+	// allocs and frees take none since the PR 4 dispatch surgery). Recorded
 	// frees cost ~one chained stamp each (none once a buffer fills); Mark
 	// events use the coarse clock and cost no reads.
-	res.HostClockReads = 2*(res.Alloc.Allocs+res.Alloc.Frees) + 7*res.Alloc.Flushes
+	res.HostClockReads = res.Alloc.ClockReads
 	if s.Recorder != nil {
 		res.HostClockReads += res.SMR.Freed
 	}

@@ -62,18 +62,37 @@ type WorkloadConfig struct {
 	// with per-thread per-class pools of this capacity — the object-pooling
 	// ablation of DESIGN.md §5.7 (the optimization the paper declines).
 	PoolCapacity int
+	// LegacyDispatch routes every per-node protection through the
+	// smr.Reclaimer interface (the pre-Guard dispatch path) instead of the
+	// zero-dispatch Guard. Semantics are identical — pinned by the
+	// dispatch-parity tests — so this knob exists for A/B dispatch-cost runs
+	// and the parity CI job, not for ordinary trials.
+	LegacyDispatch bool
 	// Record enables timeline recording with RecorderCap events/thread.
 	Record      bool
 	RecorderCap int
 	// Seed varies the per-thread RNG streams.
 	Seed uint64
-	// YieldEvery inserts a scheduler yield every YieldEvery operations.
-	// Simulated threads are goroutines; without explicit yields a goroutine
-	// runs a whole scheduler quantum (~10 ms, thousands of operations)
-	// alone, which serializes the workload into per-thread bursts and
-	// destroys the cross-thread object flow (a thread would mostly retire
-	// nodes it allocated itself). Yielding every operation interleaves the
-	// threads the way hardware parallelism would. <0 disables.
+	// FixedOps, when positive, replaces the wall-clock window with a
+	// deterministic trial: every thread runs exactly FixedOps operations and
+	// Duration is ignored. With Threads == 1 the whole trial — op streams,
+	// allocator traffic, reclaimer decisions — is bit-reproducible, which is
+	// what makes guard-vs-legacy dispatch parity testable and gives the grid
+	// a variance-free trial type.
+	FixedOps int
+	// YieldEvery controls scheduler yields. Simulated threads are
+	// goroutines; without explicit yields a goroutine runs a whole scheduler
+	// quantum (~10 ms, thousands of operations) alone, which serializes the
+	// workload into per-thread bursts and destroys the cross-thread object
+	// flow (a thread would mostly retire nodes it allocated itself).
+	//
+	//   0 (default): the batched auto policy — yield on op-batch boundaries
+	//     with a GOMAXPROCS-aware stride (see autoYieldStride), keeping
+	//     threads interleaved at sub-quantum granularity without paying a
+	//     Gosched per operation.
+	//   >0: the legacy policy — yield every YieldEvery operations, checked
+	//     in the per-op path (the pre-batching behavior, kept for A/B runs).
+	//   <0: never yield.
 	YieldEvery int
 
 	// Scenario knobs; zero values mean the scenario defaults.
@@ -109,7 +128,6 @@ func DefaultWorkload(threads int) WorkloadConfig {
 		Cost:          simalloc.Intel192(),
 		RecorderCap:   100000,
 		Seed:          1,
-		YieldEvery:    1,
 	}
 }
 
@@ -138,13 +156,14 @@ type TrialResult struct {
 	// allocator locks.
 	PctFree, PctFlush, PctLock float64
 	// Host-overhead self-report: how much wall time the harness spent on
-	// measurement itself rather than modeled work. HostClockReads is an
-	// estimated stamp count derived from allocator and recorder activity
-	// (two stamps per alloc/free, ~7 per flush slow path, ~one per recorded
-	// free call); HostOverheadNanos multiplies it by the calibrated cost of
-	// one clock read, and PctHostOverhead expresses that as a share of
-	// available thread-time, comparable with PctFree/PctFlush/PctLock. Use
-	// it to judge how much the measurement tax dilutes the modeled numbers.
+	// measurement itself rather than modeled work. HostClockReads is the
+	// allocator's exact stamp count (simalloc.Stats.ClockReads — slow paths
+	// only; cache-hit allocs and frees are unstamped) plus ~one chained
+	// stamp per recorded free call; HostOverheadNanos multiplies it by the
+	// calibrated cost of one clock read, and PctHostOverhead expresses that
+	// as a share of available thread-time, comparable with PctFree/PctFlush/
+	// PctLock. Use it to judge how much the measurement tax dilutes the
+	// modeled numbers.
 	HostClockReads    int64
 	HostOverheadNanos int64
 	PctHostOverhead   float64
@@ -177,6 +196,58 @@ func (r *rng) next() uint64 {
 // bits across xorshift steps.
 func (r *rng) intn(n int64) int64 { return int64((r.next() >> 17) % uint64(n)) }
 
+// opBatchSize is the per-thread stream batch: keys and op kinds are drawn
+// from the scenario in blocks of this size, so the two KeyDist/OpMix
+// interface calls, the stop-flag load, and the yield check all run once per
+// batch boundary instead of inside the per-op path. 64 ops is small enough
+// that threads still interleave at sub-quantum granularity (a quantum is
+// thousands of ops) and the measured window stays tight.
+const opBatchSize = 64
+
+// opStream is one thread's pre-drawn operation batch. KeyDist and OpMix are
+// independent RNG streams, so drawing keys and kinds block-wise yields
+// exactly the per-op (key, kind) pairs the former interleaved loop drew —
+// the "paper" scenario's bit-compatibility pin (TestPaperScenarioStreams-
+// MatchSeedFormulas) is unaffected.
+type opStream struct {
+	keys  [opBatchSize]int64
+	kinds [opBatchSize]Op
+}
+
+func (s *opStream) refill(kd KeyDist, om OpMix, n int) {
+	for i := 0; i < n; i++ {
+		s.keys[i] = kd.Next()
+	}
+	for i := 0; i < n; i++ {
+		s.kinds[i] = om.Next()
+	}
+}
+
+// autoYieldStride picks the per-thread op count between scheduler yields for
+// the default (YieldEvery == 0) policy. When the trial oversubscribes
+// GOMAXPROCS the stride is one batch, so runnable threads rotate every 64
+// ops — coarse enough to amortize the Gosched, fine enough to preserve the
+// cross-thread object flow the remote-free statistics depend on. With true
+// parallelism (threads <= GOMAXPROCS) goroutines already interleave on
+// distinct Ps and the Go scheduler preempts asynchronously, so a gentle
+// four-batch stride suffices as a fairness backstop.
+func autoYieldStride(threads int) int {
+	if threads > runtime.GOMAXPROCS(0) {
+		return opBatchSize
+	}
+	return 4 * opBatchSize
+}
+
+// afterPrefill, when armed via OnFirstPrefillDone, fires exactly once: after
+// the first RunTrial prefill to complete anywhere in the process.
+var afterPrefill atomic.Pointer[func()]
+
+// OnFirstPrefillDone arms f to run once, immediately after the next trial's
+// prefill completes and before its measured window opens. cmd/epochbench
+// uses it to start -cpuprofile/-memprofile capture past the prefill, so a
+// single-trial profile covers only the measured window.
+func OnFirstPrefillDone(f func()) { afterPrefill.Store(&f) }
+
 // prefill inserts random keys in parallel until the set holds half the key
 // range, the paper's steady-state size.
 func prefill(cfg *WorkloadConfig, set ds.Set) {
@@ -198,15 +269,89 @@ func prefill(cfg *WorkloadConfig, set ds.Set) {
 	wg.Wait()
 }
 
+// runWorker is one simulated thread's measured loop: draw a batch of keys
+// and op kinds, execute it, repeat until the stop flag (wall-clock trials)
+// or the fixed op budget (FixedOps trials) ends the window. The per-op path
+// contains only the set call itself; stream draws, the stop check, and the
+// yield policy all live on batch boundaries — except under the legacy
+// per-op yield (YieldEvery > 0), which is preserved verbatim for A/B runs.
+func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) int64 {
+	set := st.Set
+	var s opStream
+	local := int64(0)
+	fixed := int64(cfg.FixedOps)
+	legacyYield := int64(cfg.YieldEvery)
+	stride := int64(0)
+	if cfg.YieldEvery == 0 {
+		stride = int64(autoYieldStride(cfg.Threads))
+	}
+	sinceYield := int64(0)
+	for {
+		n := opBatchSize
+		if fixed > 0 {
+			if local >= fixed {
+				break
+			}
+			if rem := fixed - local; rem < int64(n) {
+				n = int(rem)
+			}
+		} else if st.Stopped() {
+			break
+		}
+		s.refill(kd, om, n)
+		if legacyYield > 0 {
+			for i := 0; i < n; i++ {
+				key := s.keys[i]
+				switch s.kinds[i] {
+				case OpInsert:
+					set.Insert(tid, key)
+				case OpDelete:
+					set.Delete(tid, key)
+				default:
+					set.Contains(tid, key)
+				}
+				local++
+				if local%legacyYield == 0 {
+					runtime.Gosched()
+				}
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			key := s.keys[i]
+			switch s.kinds[i] {
+			case OpInsert:
+				set.Insert(tid, key)
+			case OpDelete:
+				set.Delete(tid, key)
+			default:
+				set.Contains(tid, key)
+			}
+		}
+		local += int64(n)
+		if stride > 0 {
+			if sinceYield += int64(n); sinceYield >= stride {
+				sinceYield = 0
+				runtime.Gosched()
+			}
+		}
+	}
+	return local
+}
+
 // RunTrial executes one trial: assemble the stack, prefill to the
 // steady-state size, run the configured scenario's per-thread key and
-// operation streams for Duration, snapshot, tear down.
+// operation streams — for Duration, or for exactly FixedOps ops per thread —
+// snapshot, tear down.
 func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if cfg.Threads <= 0 {
 		return TrialResult{}, fmt.Errorf("bench: Threads must be positive")
 	}
 	if cfg.KeyRange < 2 {
 		return TrialResult{}, fmt.Errorf("bench: KeyRange must be >= 2")
+	}
+	if cfg.FixedOps < 0 {
+		return TrialResult{}, fmt.Errorf("bench: FixedOps must be >= 0")
 	}
 	if cfg.Scenario == "" {
 		// Normalize before building the stack so TrialResult.Scenario
@@ -222,6 +367,9 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 		return TrialResult{}, err
 	}
 	prefill(&cfg, st.Set)
+	if f := afterPrefill.Swap(nil); f != nil {
+		(*f)()
+	}
 
 	// Per-thread streams are built serially, before the workers start, so
 	// scenarios may share memoized tables across threads without locking.
@@ -243,38 +391,20 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			set := st.Set
-			kd, om := keys[tid], mixes[tid]
-			yieldEvery := cfg.YieldEvery
-			if yieldEvery == 0 {
-				yieldEvery = 1
-			}
-			local := int64(0)
-			for !st.Stopped() {
-				// Check the stop flag every few ops to keep the window tight
-				// without a per-op atomic in the hot loop.
-				for i := 0; i < 8; i++ {
-					key := kd.Next()
-					switch om.Next() {
-					case OpInsert:
-						set.Insert(tid, key)
-					case OpDelete:
-						set.Delete(tid, key)
-					default:
-						set.Contains(tid, key)
-					}
-					local++
-					if yieldEvery > 0 && local%int64(yieldEvery) == 0 {
-						runtime.Gosched()
-					}
-				}
-			}
-			atomic.StoreInt64(&ops[tid].v, local)
+			atomic.StoreInt64(&ops[tid].v, runWorker(&cfg, st, tid, keys[tid], mixes[tid]))
 		}(tid)
 	}
-	time.Sleep(cfg.Duration)
-	st.Stop()
-	wg.Wait()
+	if cfg.FixedOps > 0 {
+		// Deterministic window: every thread runs its budget to completion;
+		// the stop flag is only raised afterwards (for the reclaimers'
+		// blocking-wait bail-outs during teardown).
+		wg.Wait()
+		st.Stop()
+	} else {
+		time.Sleep(cfg.Duration)
+		st.Stop()
+		wg.Wait()
+	}
 	wall := time.Since(start)
 
 	var total int64

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestAutoYieldPreservesObjectFlow validates the batched yield policy the
+// way the issue demands: by the remote-free-share stats staying in range.
+// The per-op legacy yield existed to interleave oversubscribed goroutines so
+// threads free objects other threads allocated; the batched policy must keep
+// that flow while yielding ~64× less often. Two observables, both compared
+// against the legacy policy on the same host in the same run:
+//
+//   - frees per op: without interleaving, objects pile up in limbo instead
+//     of flowing back through the allocator inside the window (the probe for
+//     YieldEvery < 0 shows frees/op collapsing by ~35%);
+//   - remote-free share: the fraction of frees landing in a non-home arena,
+//     the paper's cross-thread signal.
+//
+// Bounds are generous (the absolute values are host- and scheduler-
+// dependent); the test catches the policy degenerating into per-thread
+// bursts, not single-digit-percent drift.
+func TestAutoYieldPreservesObjectFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive flow comparison")
+	}
+	// Best of two runs per policy: a single 60ms window on a loaded runner
+	// can catch one policy on the wrong side of a scheduling hiccup; taking
+	// the max per observable compares each policy's achievable flow.
+	run := func(yieldEvery int) (freesPerOp, remoteShare float64) {
+		for i := 0; i < 2; i++ {
+			cfg := DefaultWorkload(4)
+			cfg.KeyRange = 1 << 12
+			cfg.Duration = 60_000_000 // 60ms
+			cfg.YieldEvery = yieldEvery
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Ops == 0 || tr.Alloc.Frees == 0 {
+				t.Fatalf("yieldEvery=%d: empty trial (%d ops, %d frees)", yieldEvery, tr.Ops, tr.Alloc.Frees)
+			}
+			freesPerOp = max(freesPerOp, float64(tr.Alloc.Frees)/float64(tr.Ops))
+			remoteShare = max(remoteShare, float64(tr.Alloc.RemoteFrees)/float64(tr.Alloc.Frees))
+		}
+		return freesPerOp, remoteShare
+	}
+	legacyFlow, legacyShare := run(1)
+	autoFlow, autoShare := run(0)
+
+	if autoFlow < 0.7*legacyFlow {
+		t.Fatalf("auto yield starves object flow: %.3f frees/op vs legacy %.3f", autoFlow, legacyFlow)
+	}
+	if legacyShare > 0 && autoShare < 0.4*legacyShare {
+		t.Fatalf("auto yield lost cross-thread frees: remote share %.4f vs legacy %.4f", autoShare, legacyShare)
+	}
+}

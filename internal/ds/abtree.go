@@ -39,6 +39,7 @@ type abNode struct {
 type ABTree struct {
 	alloc  simalloc.Allocator
 	rec    smr.Reclaimer
+	disp   protectDispatch
 	root   atomic.Pointer[abNode]
 	rootMu sync.Mutex // guards the root slot
 	size   *sizeCtr
@@ -47,6 +48,7 @@ type ABTree struct {
 // NewABTree builds an empty tree over the allocator and reclaimer.
 func NewABTree(alloc simalloc.Allocator, rec smr.Reclaimer) *ABTree {
 	t := &ABTree{alloc: alloc, rec: rec, size: newSizeCtr(alloc.Threads())}
+	t.disp = newProtectDispatch(rec, alloc.Threads())
 	t.root.Store(t.newLeaf(0, nil))
 	return t
 }
@@ -103,16 +105,29 @@ type abPathEntry struct {
 const abMaxDepth = 48
 
 // descend walks from the root to the leaf covering key, recording the path
-// and publishing protection for each visited node.
+// and publishing protection for each visited node. Protection routes through
+// the guard when the reclaimer exposes one (a concrete call the compiler can
+// see through), skips publication entirely for epoch-based reclaimers
+// (nil guard, nil legacy), and falls back to the Reclaimer interface only
+// under smr.LegacyDispatch.
 func (t *ABTree) descend(tid int, key int64, path *[abMaxDepth]abPathEntry) (leaf *abNode, depth int) {
+	g, legacy := t.disp.handles(tid)
 	cur := t.root.Load()
-	t.rec.Protect(tid, 0, cur.obj)
+	if g != nil {
+		g.Protect(0, cur.obj)
+	} else if legacy != nil {
+		legacy.Protect(tid, 0, cur.obj)
+	}
 	for !cur.leaf {
 		idx := childIndex(cur, key)
 		path[depth] = abPathEntry{cur, idx}
 		depth++
 		cur = cur.children[idx].Load()
-		t.rec.Protect(tid, depth%3, cur.obj)
+		if g != nil {
+			g.Protect(depth%3, cur.obj)
+		} else if legacy != nil {
+			legacy.Protect(tid, depth%3, cur.obj)
+		}
 	}
 	return cur, depth
 }

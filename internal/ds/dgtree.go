@@ -18,6 +18,7 @@ import (
 type DGTree struct {
 	alloc simalloc.Allocator
 	rec   smr.Reclaimer
+	disp  protectDispatch
 	root  *dgNode // sentinel internal; never retired
 	size  *sizeCtr
 }
@@ -58,6 +59,7 @@ const dgInf = math.MaxInt64
 // touch the root slot.
 func NewDGTree(alloc simalloc.Allocator, rec smr.Reclaimer) *DGTree {
 	t := &DGTree{alloc: alloc, rec: rec, size: newSizeCtr(alloc.Threads())}
+	t.disp = newProtectDispatch(rec, alloc.Threads())
 	inner := &dgNode{key: dgInf}
 	inner.left.Store(&dgNode{key: dgInf, leaf: true})
 	inner.right.Store(&dgNode{key: dgInf, leaf: true})
@@ -91,6 +93,7 @@ func dgGoRight(n *dgNode, key int64) bool { return key >= n.key }
 // seek descends to the leaf covering key, returning the grandparent,
 // parent, directions taken, and the leaf.
 func (t *DGTree) seek(tid int, key int64) (gp *dgNode, gpRight bool, p *dgNode, pRight bool, leaf *dgNode) {
+	g, legacy := t.disp.handles(tid)
 	gp = nil
 	p = t.root
 	pRight = dgGoRight(p, key)
@@ -98,7 +101,11 @@ func (t *DGTree) seek(tid int, key int64) (gp *dgNode, gpRight bool, p *dgNode, 
 	depth := 0
 	for !cur.leaf {
 		if cur.obj != nil {
-			t.rec.Protect(tid, depth%3, cur.obj)
+			if g != nil {
+				g.Protect(depth%3, cur.obj)
+			} else if legacy != nil {
+				legacy.Protect(tid, depth%3, cur.obj)
+			}
 		}
 		depth++
 		gp, gpRight = p, pRight

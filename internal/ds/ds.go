@@ -62,6 +62,47 @@ func New(name string, alloc simalloc.Allocator, rec smr.Reclaimer) (Set, error) 
 // Names lists the available data structures.
 func Names() []string { return []string{"abtree", "occtree", "dgtree"} }
 
+// guardSource is implemented by reclaimers that expose the zero-dispatch
+// Guard protection path. Every smr reclaimer does; smr.LegacyDispatch wraps
+// one to hide it, forcing the per-node interface path for A/B runs and the
+// dispatch-parity tests.
+type guardSource interface {
+	Guard(tid int) *smr.Guard
+}
+
+// protectDispatch is a tree's per-node protection routing, resolved once at
+// construction so traversal loops pay no interface dispatch per visited
+// node. Exactly one of the two shapes is live:
+//
+//   - guards[tid] non-nil: publish through the concrete Guard (HP/HE/IBR/
+//     NBR/WFE). guards[tid] nil with legacy nil: the reclaimer needs no
+//     per-node protection at all (epoch-based schemes) and the traversal
+//     branches away entirely.
+//   - legacy non-nil: the reclaimer hides its guards (smr.LegacyDispatch);
+//     every protection goes through Reclaimer.Protect as before.
+type protectDispatch struct {
+	guards []*smr.Guard
+	legacy smr.Reclaimer
+}
+
+func newProtectDispatch(rec smr.Reclaimer, threads int) protectDispatch {
+	d := protectDispatch{guards: make([]*smr.Guard, threads)}
+	if gs, ok := rec.(guardSource); ok {
+		for tid := range d.guards {
+			d.guards[tid] = gs.Guard(tid)
+		}
+	} else {
+		d.legacy = rec
+	}
+	return d
+}
+
+// handles returns tid's protection endpoints for one operation; traversal
+// loops hoist them out of the per-node path.
+func (d *protectDispatch) handles(tid int) (*smr.Guard, smr.Reclaimer) {
+	return d.guards[tid], d.legacy
+}
+
 // sizeCtr tracks the set's cardinality with per-thread padded deltas so hot
 // paths never share a counter cache line.
 type sizeCtr struct {

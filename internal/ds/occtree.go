@@ -25,6 +25,7 @@ import (
 type OCCTree struct {
 	alloc simalloc.Allocator
 	rec   smr.Reclaimer
+	disp  protectDispatch
 	// head is an unretirable sentinel whose right child is the tree.
 	head *occNode
 	size *sizeCtr
@@ -42,6 +43,7 @@ type occNode struct {
 // NewOCCTree builds an empty tree over the allocator and reclaimer.
 func NewOCCTree(alloc simalloc.Allocator, rec smr.Reclaimer) *OCCTree {
 	t := &OCCTree{alloc: alloc, rec: rec, size: newSizeCtr(alloc.Threads())}
+	t.disp = newProtectDispatch(rec, alloc.Threads())
 	t.head = &occNode{key: math.MinInt64}
 	return t
 }
@@ -69,12 +71,17 @@ func (n *occNode) child(right bool) *atomic.Pointer[occNode] {
 // under which key would attach. It returns (parent, dirRight, node) where
 // node is nil when key is absent.
 func (t *OCCTree) seek(tid int, key int64) (p *occNode, right bool, n *occNode) {
+	g, legacy := t.disp.handles(tid)
 	p, right = t.head, true
 	n = t.head.right.Load()
 	depth := 0
 	for n != nil {
 		if n.obj != nil {
-			t.rec.Protect(tid, depth%3, n.obj)
+			if g != nil {
+				g.Protect(depth%3, n.obj)
+			} else if legacy != nil {
+				legacy.Protect(tid, depth%3, n.obj)
+			}
 		}
 		depth++
 		if key == n.key {
@@ -153,6 +160,7 @@ func (t *OCCTree) Delete(tid int, key int64) bool {
 			continue
 		}
 		l, r := n.left.Load(), n.right.Load()
+		unlinked := false
 		if l != nil && r != nil {
 			// Two children: logical delete; n stays as a routing node.
 			n.marked.Store(true)
@@ -163,10 +171,18 @@ func (t *OCCTree) Delete(tid int, key int64) bool {
 			}
 			p.child(right).Store(child)
 			n.retired.Store(true)
-			t.rec.Retire(tid, n.obj)
+			unlinked = true
 		}
 		n.mu.Unlock()
 		p.mu.Unlock()
+		if unlinked {
+			// Retire only after both locks are released: a bag-full Retire
+			// can block on a grace period (RCU synchronize, NBR
+			// neutralization), and a peer stuck on p.mu can never reach its
+			// next quiescent point — retire-under-lock deadlocks the pair.
+			// abtree and dgtree already retire after their unlocks.
+			t.rec.Retire(tid, n.obj)
+		}
 		t.size.add(tid, -1)
 		return true
 	}

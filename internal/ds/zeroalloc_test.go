@@ -1,0 +1,71 @@
+package ds
+
+import (
+	"testing"
+
+	"repro/internal/simalloc"
+	"repro/internal/smr"
+)
+
+// Steady-state zero-allocation pins. The guard dispatch path exists so the
+// hottest loop in the harness — traverse, publish protection per visited
+// node, finish the op — does no avoidable host work; a Go heap allocation on
+// that path (interface boxing, an escaping path array, a closure capture)
+// would cost far more than the dispatch it saves. The read path is the pure
+// form of that loop: a full BeginOp/Protect.../EndOp cycle with no node
+// churn, so it must allocate exactly nothing for every reclaimer family on
+// every tree.
+//
+// One reclaimer per family (the families share their hot-path structure):
+//
+//	epoch  → debra   (announcement array, limbo bags)
+//	hazard → hp      (pointer-publishing slot window)
+//	era    → he      (era-publishing slot window; wfe shares the code)
+//	token  → token_af (ring token + amortized freer pump in EndOp)
+func zeroAllocFamilies() []string { return []string{"debra", "hp", "he", "token_af"} }
+
+func buildSet(t *testing.T, dsName, recName string) (Set, simalloc.Allocator) {
+	t.Helper()
+	acfg := simalloc.DefaultConfig(1)
+	acfg.Cost = simalloc.Uniform()
+	alloc := simalloc.NewJEMalloc(acfg)
+	rec, err := smr.New(recName, smr.DefaultConfig(alloc, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := New(dsName, alloc, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, alloc
+}
+
+func TestSteadyStateReadPathZeroAllocs(t *testing.T) {
+	const keyRange = 1 << 10
+	for _, dsName := range Names() {
+		for _, recName := range zeroAllocFamilies() {
+			t.Run(dsName+"/"+recName, func(t *testing.T) {
+				set, _ := buildSet(t, dsName, recName)
+				// Prefill to a realistic depth so traversals visit several
+				// levels (and therefore publish several protections).
+				for k := int64(0); k < keyRange; k += 2 {
+					set.Insert(0, k)
+				}
+				// Warm up: let lazily-grown scratch (hazard scan maps, flush
+				// groups) reach steady state before counting.
+				key := int64(1)
+				for i := 0; i < 512; i++ {
+					set.Contains(0, key)
+					key = (key*31 + 17) % keyRange
+				}
+				avg := testing.AllocsPerRun(200, func() {
+					set.Contains(0, key)
+					key = (key*31 + 17) % keyRange
+				})
+				if avg != 0 {
+					t.Fatalf("steady-state read path allocates %.2f objects/op", avg)
+				}
+			})
+		}
+	}
+}

@@ -88,9 +88,6 @@ func (s Spec) withDefaults() Spec {
 	if s.Base.Seed == 0 {
 		s.Base.Seed = base.Seed
 	}
-	if s.Base.YieldEvery == 0 {
-		s.Base.YieldEvery = base.YieldEvery
-	}
 	if len(s.Scenarios) == 0 {
 		s.Scenarios = []string{s.Base.Scenario}
 	}

@@ -26,7 +26,12 @@ import (
 // SchemaVersion identifies the record layout and the key-normalization
 // rules. It is hashed into every key, so bumping it orphans (but does not
 // corrupt) existing stores: old records simply stop matching new keys.
-const SchemaVersion = 1
+//
+// v2: WorkloadConfig gained FixedOps and LegacyDispatch, and YieldEvery's
+// default changed from the per-op legacy policy (1) to the batched auto
+// policy (0) — all three alter what a stored trial measured, so every key
+// moves.
+const SchemaVersion = 2
 
 // Normalize fills the configuration defaults that the harness would apply
 // at run time (RunTrial, NewStack, smr.Config.fillDefaults), so that a
@@ -53,9 +58,11 @@ func Normalize(cfg bench.WorkloadConfig) bench.WorkloadConfig {
 	if cfg.EraFreq <= 0 {
 		cfg.EraFreq = 64
 	}
-	if cfg.YieldEvery == 0 {
-		cfg.YieldEvery = 1
-	}
+	// YieldEvery needs no normalization: 0 is the auto yield policy, a real
+	// configuration distinct from every explicit stride. FixedOps and
+	// LegacyDispatch likewise hash as-is — a fixed-op trial and a wall-clock
+	// trial, or a guard-path and a legacy-dispatch trial, must never share a
+	// key.
 	if cfg.Threads > 0 {
 		acfg := simalloc.DefaultConfig(cfg.Threads)
 		if cfg.TCacheCap <= 0 {

@@ -46,16 +46,28 @@ func TestKeyNormalizationEquivalences(t *testing.T) {
 	zeroed.BatchSize = 0
 	zeroed.DrainRate = 0
 	zeroed.TokenCheckK = 0
-	zeroed.YieldEvery = 0
 	zeroed.Cost.ThreadsPerSocket = 0
 	filled := base
 	filled.Scenario = "paper"
 	filled.BatchSize = 2048
 	filled.DrainRate = 1
 	filled.TokenCheckK = 100
-	filled.YieldEvery = 1
 	if KeyOf(zeroed) != KeyOf(filled) {
 		t.Fatal("zero knobs and explicit defaults hash differently")
+	}
+	// YieldEvery is NOT normalized: 0 is the auto yield policy, a distinct
+	// measurement from any explicit stride. Same for the FixedOps and
+	// LegacyDispatch trial modes.
+	for _, mutate := range []func(*bench.WorkloadConfig){
+		func(c *bench.WorkloadConfig) { c.YieldEvery = 1 },
+		func(c *bench.WorkloadConfig) { c.FixedOps = 1000 },
+		func(c *bench.WorkloadConfig) { c.LegacyDispatch = true },
+	} {
+		changed := base
+		mutate(&changed)
+		if KeyOf(changed) == KeyOf(base) {
+			t.Fatalf("trial-mode knob did not change the key: %+v", changed)
+		}
 	}
 }
 

@@ -72,17 +72,20 @@ func init() {
 }
 
 // burnQueue spends the queueing delay as spin work attributable to tid and
-// returns the time actually burned (recorded as lock-wait time). One clock
-// read per spin round; the final read doubles as the return value.
-func burnQueue(tid int, queueNs int64) int64 {
+// returns the time actually burned (recorded as lock-wait time) plus the
+// number of host clock reads it took: one per spin round plus the initial
+// stamp, so callers can charge the exact measurement tax to their stats.
+func burnQueue(tid int, queueNs int64) (burnedNs, clockReads int64) {
 	if queueNs <= 0 {
-		return 0
+		return 0, 0
 	}
 	t0 := clock.Now()
 	now := t0
+	reads := int64(1)
 	for now-t0 < queueNs {
 		spinWork(tid, 64)
 		now = clock.Now()
+		reads++
 	}
-	return now - t0
+	return now - t0, reads
 }

@@ -107,22 +107,26 @@ func (a *JEMalloc) homeArena(tid int) int32 {
 }
 
 // Alloc serves tid from its tcache, refilling from the home arena bin on
-// miss and mapping a fresh page run when the bin is also empty.
+// miss and mapping a fresh page run when the bin is also empty. Only the
+// refill slow path is clock-stamped: a tcache hit is a pop plus counter
+// bumps, so stamping it would measure mostly the stamps themselves (the
+// measurement tax PR 4's host-overhead surgery removes).
 func (a *JEMalloc) Alloc(tid int, size int) *Object {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	tc := &a.caches[tid].bins[class]
 	o := tc.list.pop()
 	if o == nil {
+		t0 := clock.Now()
 		a.refill(tid, class, tc)
 		o = tc.list.pop()
+		ts.allocNanos += clock.Now() - t0
+		ts.clockReads += 2
 	}
 	o.markAllocated()
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -134,11 +138,14 @@ func (a *JEMalloc) refill(tid int, class uint8, tc *jeTCacheBin) {
 
 	touch := a.cfg.Cost.TouchCost(tid, arena.homeSocket)
 	hold := int64(touch+a.cfg.FillCount*a.cfg.Cost.PerObjectAlloc) * nsPerSpinUnit
-	ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
+	burned, reads := burnQueue(tid, bin.clock.reserve(hold))
+	ts.lockNanos += burned
+	ts.clockReads += reads + 1 // +1: reserve's own stamp
 	spinWork(tid, touch)
 	l0 := clock.Now()
 	bin.mu.Lock()
 	ts.lockNanos += clock.Now() - l0
+	ts.clockReads += 2
 	got := 0
 	for got < a.cfg.FillCount {
 		o := bin.list.pop()
@@ -173,9 +180,10 @@ func (a *JEMalloc) refill(tid int, class uint8, tc *jeTCacheBin) {
 }
 
 // Free pushes o into tid's tcache and flushes ~FlushFraction of the cache
-// when it overflows, following je_tcache_bin_flush_small.
+// when it overflows, following je_tcache_bin_flush_small. Like Alloc, only
+// the flush slow path is clock-stamped; a cache-absorbed free costs no host
+// clock reads at all.
 func (a *JEMalloc) Free(tid int, o *Object) {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	tc := &a.caches[tid].bins[o.Class]
@@ -183,9 +191,11 @@ func (a *JEMalloc) Free(tid int, o *Object) {
 	ts.frees++
 	ts.freeBytes += int64(o.Size)
 	if tc.list.len() > a.cfg.TCacheCap {
+		t0 := clock.Now()
 		a.flush(tid, o.Class, tc)
+		ts.freeNanos += clock.Now() - t0
+		ts.clockReads += 2
 	}
-	ts.freeNanos += clock.Now() - t0
 }
 
 // flush returns FlushFraction of the tcache bin to the owning arena bins.
@@ -257,12 +267,15 @@ func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
 		if a.flushHoldProbe != nil {
 			a.flushHoldProbe(g.arena, hold)
 		}
-		ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
+		burned, reads := burnQueue(tid, bin.clock.reserve(hold))
+		ts.lockNanos += burned
+		ts.clockReads += reads + 1 // +1: reserve's own stamp
 
 		spinWork(tid, touch)
 		l0 := clock.Now()
 		bin.mu.Lock()
 		ts.lockNanos += clock.Now() - l0
+		ts.clockReads += 2
 		remote := g.arena != myArena
 		for o := g.head; o != nil; {
 			next := o.next
@@ -279,6 +292,7 @@ func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
 	}
 	cache.groups = groups[:0]
 	ts.flushNanos += clock.Now() - f0
+	ts.clockReads += 2 // the f0/end pair
 }
 
 // FlushThreadCaches returns every cached object to its arena bin without

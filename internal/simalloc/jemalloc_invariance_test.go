@@ -59,7 +59,8 @@ func flushScanPerRound(a *JEMalloc, tid int, class uint8, tc *jeTCacheBin, scrat
 		if a.flushHoldProbe != nil {
 			a.flushHoldProbe(first.Arena, hold)
 		}
-		ts.lockNanos += burnQueue(tid, bin.clock.reserve(hold))
+		burned, _ := burnQueue(tid, bin.clock.reserve(hold))
+		ts.lockNanos += burned
 
 		spinWork(tid, touch)
 		l0 := time.Now()

@@ -59,22 +59,31 @@ func (a *MIMalloc) Threads() int { return a.cfg.Threads }
 
 // Alloc pops from the current page's allocation list, collecting the local
 // and cross-thread free lists on miss, rotating through owned pages, and
-// finally mapping a fresh page.
+// finally mapping a fresh page. The fast path — a pop from the cursor page —
+// takes no host clock stamps; only the collect/fresh-page slow path is
+// timed.
 func (a *MIMalloc) Alloc(tid int, size int) *Object {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	h := &a.heaps[tid]
 
-	o := a.popFromPages(tid, h, class)
+	var o *Object
+	if pages := h.pages[class]; len(pages) > 0 {
+		o = pages[h.cursor[class]].allocList.pop()
+	}
 	if o == nil {
-		o = a.freshPage(tid, class, h)
+		t0 := clock.Now()
+		o = a.popFromPages(tid, h, class)
+		if o == nil {
+			o = a.freshPage(tid, class, h)
+		}
+		ts.allocNanos += clock.Now() - t0
+		ts.clockReads += 2
 	}
 	o.markAllocated()
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -134,9 +143,9 @@ func (a *MIMalloc) freshPage(tid int, class uint8, h *miHeap) *Object {
 // Free returns o to its page: unsynchronized onto localFree when tid owns
 // the page, or an atomic push onto the page's cross-thread list otherwise.
 // There is no batch flush anywhere on this path, which is why amortized
-// freeing cannot help mimalloc.
+// freeing cannot help mimalloc. Only the remote path — the one with modeled
+// cost — is clock-stamped; an owner-local free costs no host clock reads.
 func (a *MIMalloc) Free(tid int, o *Object) {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	ts.frees++
@@ -144,18 +153,20 @@ func (a *MIMalloc) Free(tid int, o *Object) {
 	p := o.Page
 	if p.owner == int32(tid) {
 		p.localFree.push(o)
-	} else {
-		ts.remoteFrees++
-		spinWork(tid, a.cfg.Cost.TouchCost(tid, p.homeSocket))
-		for {
-			h := p.cross.Load()
-			o.next = h
-			if p.cross.CompareAndSwap(h, o) {
-				break
-			}
+		return
+	}
+	t0 := clock.Now()
+	ts.remoteFrees++
+	spinWork(tid, a.cfg.Cost.TouchCost(tid, p.homeSocket))
+	for {
+		h := p.cross.Load()
+		o.next = h
+		if p.cross.CompareAndSwap(h, o) {
+			break
 		}
 	}
 	ts.freeNanos += clock.Now() - t0
+	ts.clockReads += 2
 }
 
 // FlushThreadCaches is a no-op: mimalloc has no thread caches separate from

@@ -11,21 +11,22 @@ import (
 // Snapshot reads them with atomic loads, which is adequate for monitoring
 // (the paper's perf percentages are likewise sampled).
 type threadStats struct {
-	freeNanos  int64 // total time inside Free, including flushes
+	freeNanos  int64 // time inside Free slow paths (flush/spill/remote), stamped around them
 	flushNanos int64 // time inside cache-flush slow paths (je_tcache_bin_flush_small analogue)
 	lockNanos  int64 // time blocked acquiring bin/central locks (je_malloc_mutex_lock_slow analogue)
-	allocNanos int64 // total time inside Alloc
+	allocNanos int64 // time inside Alloc slow paths (refill/collect/fresh page)
 
 	frees       int64 // objects passed to Free
 	allocs      int64 // objects returned from Alloc
 	remoteFrees int64 // objects returned to a bin not owned by the freeing thread
 	flushes     int64 // flush slow-path invocations
 	freshPages  int64 // page runs mapped from the simulated OS
+	clockReads  int64 // host clock stamps taken by this thread's allocator calls
 
 	allocBytes int64 // bytes handed to the application
 	freeBytes  int64 // bytes returned by the application
 
-	_ [5]int64 // pad to reduce false sharing between adjacent threads
+	_ [4]int64 // pad to reduce false sharing between adjacent threads
 }
 
 // liveBytes sums per-thread byte deltas to the application's live footprint.
@@ -49,6 +50,12 @@ type Stats struct {
 	RemoteFrees int64
 	Flushes     int64
 	FreshPages  int64
+	// ClockReads counts the host clock stamps the allocator actually took —
+	// all on slow paths (refill, flush, remote free, lock waits); tcache-hit
+	// allocs and frees take none. The bench harness charges these, times the
+	// calibrated read cost, as measurement overhead (TrialResult.PctHost-
+	// Overhead).
+	ClockReads int64
 
 	MappedBytes int64
 	PeakBytes   int64
@@ -105,6 +112,7 @@ func (s *statsArena) snapshot() Stats {
 		out.RemoteFrees += atomic.LoadInt64(&t.remoteFrees)
 		out.Flushes += atomic.LoadInt64(&t.flushes)
 		out.FreshPages += atomic.LoadInt64(&t.freshPages)
+		out.ClockReads += atomic.LoadInt64(&t.clockReads)
 	}
 	out.MappedBytes = s.mapped.Load()
 	out.PeakBytes = s.peak.Load()

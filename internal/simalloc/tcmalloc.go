@@ -64,22 +64,24 @@ func (a *TCMalloc) Name() string { return "tcmalloc" }
 func (a *TCMalloc) Threads() int { return a.cfg.Threads }
 
 // Alloc serves from the thread cache, refilling a batch from the central
-// free list (under its lock) on miss.
+// free list (under its lock) on miss. Only the refill slow path is
+// clock-stamped; cache hits cost no host clock reads.
 func (a *TCMalloc) Alloc(tid int, size int) *Object {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	class := SizeToClass(size)
 	tc := &a.caches[tid].bins[class]
 	o := tc.pop()
 	if o == nil {
+		t0 := clock.Now()
 		a.refill(tid, class, tc)
 		o = tc.pop()
+		ts.allocNanos += clock.Now() - t0
+		ts.clockReads += 2
 	}
 	o.markAllocated()
 	o.OwnerTID = int32(tid)
 	ts.allocs++
 	ts.allocBytes += int64(o.Size)
-	ts.allocNanos += clock.Now() - t0
 	return o
 }
 
@@ -89,11 +91,14 @@ func (a *TCMalloc) refill(tid int, class uint8, tc *objList) {
 
 	touch := a.cfg.Cost.TouchCost(tid, central.homeSocket)
 	hold := int64(touch+a.cfg.FillCount*a.cfg.Cost.PerObjectAlloc) * nsPerSpinUnit
-	ts.lockNanos += burnQueue(tid, central.clock.reserve(hold))
+	burned, reads := burnQueue(tid, central.clock.reserve(hold))
+	ts.lockNanos += burned
+	ts.clockReads += reads + 1 // +1: reserve's own stamp
 	spinWork(tid, touch)
 	l0 := clock.Now()
 	central.mu.Lock()
 	ts.lockNanos += clock.Now() - l0
+	ts.clockReads += 2
 	got := 0
 	for got < a.cfg.FillCount {
 		o := central.list.pop()
@@ -124,9 +129,9 @@ func (a *TCMalloc) refill(tid int, class uint8, tc *objList) {
 }
 
 // Free pushes into the thread cache; on overflow a batch moves to the
-// central free list under the per-class global lock.
+// central free list under the per-class global lock. Only the spill slow
+// path is clock-stamped; a cache-absorbed free costs no host clock reads.
 func (a *TCMalloc) Free(tid int, o *Object) {
-	t0 := clock.Now()
 	ts := &a.stats.perThread[tid]
 	o.markFree()
 	tc := &a.caches[tid].bins[o.Class]
@@ -134,9 +139,11 @@ func (a *TCMalloc) Free(tid int, o *Object) {
 	ts.frees++
 	ts.freeBytes += int64(o.Size)
 	if tc.len() > a.cfg.TCacheCap {
+		t0 := clock.Now()
 		a.spill(tid, o.Class, tc)
+		ts.freeNanos += clock.Now() - t0
+		ts.clockReads += 2
 	}
-	ts.freeNanos += clock.Now() - t0
 }
 
 // spill moves FlushFraction of the cache to the central list while holding
@@ -158,11 +165,14 @@ func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
 	touch := a.cfg.Cost.TouchCost(tid, central.homeSocket)
 	perObj := a.cfg.Cost.PerObjectFree * a.cfg.Cost.RemoteFactor
 	hold := int64(touch+n*perObj) * nsPerSpinUnit
-	ts.lockNanos += burnQueue(tid, central.clock.reserve(hold))
+	burned, reads := burnQueue(tid, central.clock.reserve(hold))
+	ts.lockNanos += burned
+	ts.clockReads += reads + 1 // +1: reserve's own stamp
 	spinWork(tid, touch)
 	l0 := clock.Now()
 	central.mu.Lock()
 	ts.lockNanos += clock.Now() - l0
+	ts.clockReads += 2
 	for i := 0; i < n; i++ {
 		o := tc.pop()
 		spinWork(tid, perObj)
@@ -173,6 +183,7 @@ func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
 	}
 	central.mu.Unlock()
 	ts.flushNanos += clock.Now() - f0
+	ts.clockReads += 2 // the f0/end pair
 }
 
 // FlushThreadCaches returns every cached object to the central lists.

@@ -91,6 +91,10 @@ func (d *DEBRA) OnAlloc(int, *simalloc.Object) {}
 // Protect is a no-op for epoch-based schemes.
 func (d *DEBRA) Protect(int, int, *simalloc.Object) {}
 
+// Guard returns nil: epoch protection needs no per-node publication, so
+// trees branch away from the protect path entirely.
+func (d *DEBRA) Guard(int) *Guard { return nil }
+
 // Retire places o in the current-epoch limbo bag.
 func (d *DEBRA) Retire(tid int, o *simalloc.Object) {
 	me := &d.th[tid]

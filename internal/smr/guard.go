@@ -1,0 +1,112 @@
+package smr
+
+import "repro/internal/simalloc"
+
+// The Guard fast path.
+//
+// Reclaimer.Protect is called once per *visited node* — by far the hottest
+// call in the harness: an ABtree traversal publishes three to five
+// protections per operation, each through an interface dispatch the compiler
+// cannot devirtualize or inline. A Guard is the concrete, per-(reclaimer,
+// tid) protection handle that removes that boundary: it carries direct
+// pointers into the reclaimer's padded announcement state plus a mode tag,
+// so publishing a protection is a predictable branch and a padded atomic
+// store — no interface call, no tid-indexed address arithmetic.
+//
+// Trees resolve guards once at construction (see internal/ds): reclaimers
+// whose Protect is a real publication (HP, HE/WFE, IBR, NBR/NBR+) hand out a
+// Guard per tid; epoch-based reclaimers (DEBRA, QSBR, RCU, Token-EBR, none),
+// whose Protect is a no-op, return nil so the trees skip per-node
+// publication entirely.
+//
+// Semantics contract: Guard.Protect(slot, o) must be observably identical to
+// Reclaimer.Protect(tid, slot, o) for the tid the guard was built for. The
+// dispatch-parity tests (internal/bench TestDispatchParityFixedOps and the
+// per-reclaimer tests in guard_test.go) pin this equality for every
+// registered reclaimer.
+
+// GuardMode tags how a Guard publishes per-node protection.
+type GuardMode uint8
+
+const (
+	// GuardNoop marks reclaimers whose Protect is a no-op (epoch-based
+	// schemes). Their Guard(tid) returns nil, so trees never see this mode
+	// on a live guard; it exists for completeness and tests.
+	GuardNoop GuardMode = iota
+	// GuardPtr stores the visited node's object pointer into the tid's
+	// hazard-slot window (HP).
+	GuardPtr
+	// GuardEra stores the current global era into the tid's era-slot window
+	// (HE, WFE — the latter with extra helping stores).
+	GuardEra
+	// GuardInterval extends the tid's reservation upper bound to the current
+	// global epoch (IBR).
+	GuardInterval
+	// GuardAck acknowledges any pending neutralization round (NBR, NBR+).
+	GuardAck
+)
+
+// Guard is one (reclaimer, tid) pair's zero-dispatch protection handle. The
+// zero value is unusable; reclaimers build guards at construction time and
+// hand them out via their Guard(tid) method. A Guard must only be used by
+// the goroutine driving its tid, exactly like the tid itself.
+type Guard struct {
+	mode   GuardMode
+	nSlots int
+
+	// ptrs is the tid's hazard-pointer window (GuardPtr).
+	ptrs []padPtr
+	// eras is the tid's era-slot window (GuardEra).
+	eras []pad64
+	// era is the global era/epoch clock (GuardEra, GuardInterval).
+	era *pad64
+	// upper is the tid's reservation upper bound (GuardInterval).
+	upper *pad64
+	// round and ack are the global round and the tid's acknowledgement slot
+	// (GuardAck).
+	round *pad64
+	ack   *pad64
+	// extraStores models WFE's helping traffic (see newEraScheme).
+	extraStores int
+}
+
+// Mode reports how the guard publishes protection.
+func (g *Guard) Mode() GuardMode { return g.mode }
+
+// Protect publishes protection for o in the given slot, exactly as the
+// owning reclaimer's Protect(tid, slot, o) would.
+func (g *Guard) Protect(slot int, o *simalloc.Object) {
+	switch g.mode {
+	case GuardPtr:
+		g.ptrs[slot%g.nSlots].p.Store(o)
+	case GuardEra:
+		e := g.era.v.Load()
+		s := &g.eras[slot%g.nSlots]
+		s.v.Store(e)
+		for i := 0; i < g.extraStores; i++ {
+			s.v.Store(e)
+		}
+	case GuardInterval:
+		e := g.era.v.Load()
+		if g.upper.v.Load() < e {
+			g.upper.v.Store(e)
+		}
+	case GuardAck:
+		r := g.round.v.Load()
+		if g.ack.v.Load() != r {
+			g.ack.v.Store(r)
+		}
+	}
+}
+
+// legacyReclaimer hides the Guard method: embedding the Reclaimer interface
+// promotes only the interface's methods, so a wrapped reclaimer fails the
+// guard-source type assertion and trees fall back to per-node interface
+// dispatch. This is the "before" side of the dispatch-parity tests and the
+// WorkloadConfig.LegacyDispatch A/B knob.
+type legacyReclaimer struct{ Reclaimer }
+
+// LegacyDispatch wraps r so data structures route every Protect through the
+// Reclaimer interface instead of the zero-dispatch Guard path. Semantics are
+// unchanged; only the dispatch mechanism differs.
+func LegacyDispatch(r Reclaimer) Reclaimer { return legacyReclaimer{r} }

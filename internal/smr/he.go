@@ -19,6 +19,7 @@ type HE struct {
 
 	era     pad64 // global era clock
 	slots   []pad64
+	guards  []Guard
 	th      []heThread
 	retireN pad64 // global retire counter driving the era clock
 }
@@ -45,14 +46,28 @@ func newEraScheme(cfg Config, af bool, name string, extraStores int) *HE {
 	h := &HE{name: name, extraStores: extraStores}
 	h.e = newEnv(cfg)
 	h.f = newFreer(&h.e, af)
-	h.slots = make([]pad64, h.e.cfg.Threads*h.e.cfg.HazardSlots)
+	hs := h.e.cfg.HazardSlots
+	h.slots = make([]pad64, h.e.cfg.Threads*hs)
 	for i := range h.slots {
 		h.slots[i].v.Store(-1) // -1 = no reservation
+	}
+	h.guards = make([]Guard, h.e.cfg.Threads)
+	for tid := range h.guards {
+		h.guards[tid] = Guard{
+			mode: GuardEra, nSlots: hs,
+			eras: h.slots[tid*hs : (tid+1)*hs], era: &h.era,
+			extraStores: extraStores,
+		}
 	}
 	h.th = make([]heThread, h.e.cfg.Threads)
 	h.era.v.Store(1)
 	return h
 }
+
+// Guard returns tid's zero-dispatch protection handle: a direct era store
+// into the tid's slot window (with WFE's extra helping stores when the
+// scheme models them).
+func (h *HE) Guard(tid int) *Guard { return &h.guards[tid] }
 
 func (h *HE) Name() string { return h.name }
 

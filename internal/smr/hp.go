@@ -11,11 +11,12 @@ import "repro/internal/simalloc"
 // token_af in the paper's Experiment 1; the scan-then-free-batch structure
 // is why it still benefits (modestly) from amortized freeing.
 type HP struct {
-	e     env
-	f     freer
-	af    bool
-	slots []padPtr // threads × HazardSlots, row-major
-	th    []hpThread
+	e      env
+	f      freer
+	af     bool
+	slots  []padPtr // threads × HazardSlots, row-major
+	guards []Guard
+	th     []hpThread
 }
 
 type hpThread struct {
@@ -32,13 +33,22 @@ func NewHP(cfg Config, af bool) *HP {
 	h := &HP{af: af}
 	h.e = newEnv(cfg)
 	h.f = newFreer(&h.e, af)
-	h.slots = make([]padPtr, h.e.cfg.Threads*h.e.cfg.HazardSlots)
+	hs := h.e.cfg.HazardSlots
+	h.slots = make([]padPtr, h.e.cfg.Threads*hs)
+	h.guards = make([]Guard, h.e.cfg.Threads)
+	for tid := range h.guards {
+		h.guards[tid] = Guard{mode: GuardPtr, nSlots: hs, ptrs: h.slots[tid*hs : (tid+1)*hs]}
+	}
 	h.th = make([]hpThread, h.e.cfg.Threads)
 	for i := range h.th {
-		h.th[i].scratch = make(map[*simalloc.Object]struct{}, h.e.cfg.Threads*h.e.cfg.HazardSlots)
+		h.th[i].scratch = make(map[*simalloc.Object]struct{}, h.e.cfg.Threads*hs)
 	}
 	return h
 }
+
+// Guard returns tid's zero-dispatch protection handle: a direct pointer
+// store into the tid's hazard window.
+func (h *HP) Guard(tid int) *Guard { return &h.guards[tid] }
 
 func (h *HP) Name() string {
 	if h.af {

@@ -15,6 +15,7 @@ type IBR struct {
 	epoch   pad64 // global epoch clock
 	lower   []pad64
 	upper   []pad64
+	guards  []Guard
 	th      []ibrThread
 	retireN pad64
 }
@@ -42,10 +43,18 @@ func NewIBR(cfg Config, af bool) *IBR {
 		i.lower[t].v.Store(-1)
 		i.upper[t].v.Store(-1)
 	}
+	i.guards = make([]Guard, i.e.cfg.Threads)
+	for tid := range i.guards {
+		i.guards[tid] = Guard{mode: GuardInterval, era: &i.epoch, upper: &i.upper[tid]}
+	}
 	i.th = make([]ibrThread, i.e.cfg.Threads)
 	i.epoch.v.Store(1)
 	return i
 }
+
+// Guard returns tid's zero-dispatch protection handle: a direct extension of
+// the tid's reservation upper bound.
+func (i *IBR) Guard(tid int) *Guard { return &i.guards[tid] }
 
 func (i *IBR) Name() string {
 	if i.af {

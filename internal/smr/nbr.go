@@ -29,10 +29,11 @@ type NBR struct {
 	af   bool
 	plus bool
 
-	round pad64   // current neutralization round
-	acks  []pad64 // per-thread acknowledged round
-	done  pad64   // rounds fully acknowledged (for elision)
-	th    []nbrThread
+	round  pad64   // current neutralization round
+	acks   []pad64 // per-thread acknowledged round
+	done   pad64   // rounds fully acknowledged (for elision)
+	guards []Guard
+	th     []nbrThread
 }
 
 type nbrThread struct {
@@ -54,9 +55,17 @@ func NewNBR(cfg Config, plus, af bool) *NBR {
 	n.e = newEnv(cfg)
 	n.f = newFreer(&n.e, af)
 	n.acks = make([]pad64, n.e.cfg.Threads)
+	n.guards = make([]Guard, n.e.cfg.Threads)
+	for tid := range n.guards {
+		n.guards[tid] = Guard{mode: GuardAck, round: &n.round, ack: &n.acks[tid]}
+	}
 	n.th = make([]nbrThread, n.e.cfg.Threads)
 	return n
 }
+
+// Guard returns tid's zero-dispatch protection handle: a direct
+// neutralization-round acknowledgement checkpoint.
+func (n *NBR) Guard(tid int) *Guard { return &n.guards[tid] }
 
 func (n *NBR) Name() string {
 	name := "nbr"

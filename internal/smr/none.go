@@ -31,6 +31,9 @@ func (n *None) OnAlloc(int, *simalloc.Object) {}
 // Protect is a no-op.
 func (n *None) Protect(int, int, *simalloc.Object) {}
 
+// Guard returns nil: the leaky baseline protects nothing.
+func (n *None) Guard(int) *Guard { return nil }
+
 // Retire leaks o: it is counted but never freed.
 func (n *None) Retire(tid int, _ *simalloc.Object) {
 	n.e.noteRetire(tid)

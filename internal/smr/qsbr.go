@@ -79,6 +79,10 @@ func (q *QSBR) OnAlloc(int, *simalloc.Object) {}
 // Protect is a no-op for epoch-based schemes.
 func (q *QSBR) Protect(int, int, *simalloc.Object) {}
 
+// Guard returns nil: quiescent-state protection needs no per-node
+// publication, so trees branch away from the protect path entirely.
+func (q *QSBR) Guard(int) *Guard { return nil }
+
 // Retire places o in the current limbo bag.
 func (q *QSBR) Retire(tid int, o *simalloc.Object) {
 	me := &q.th[tid]

@@ -27,6 +27,16 @@ type RCU struct {
 type rcuThread struct {
 	// counter is odd while the thread is inside an operation.
 	counter pad64
+	// syncing is 1 while the thread is parked in synchronize. The data
+	// structures call Retire only after they are done dereferencing
+	// protected nodes (retire-then-return is the last thing an update
+	// does), so a thread blocked in its own grace-period wait is effectively
+	// quiescent — and other synchronizers must treat it as such: two
+	// threads whose bags fill inside overlapping critical sections would
+	// otherwise spin on each other's frozen odd counters forever (a
+	// livelock that a FixedOps trial, which has no wall-clock Stop to bail
+	// it out, would never escape).
+	syncing pad64
 	bag     []*simalloc.Object
 	_       [4]int64
 }
@@ -67,6 +77,10 @@ func (r *RCU) OnAlloc(int, *simalloc.Object) {}
 // Protect is a no-op: RCU readers are protected by the critical section.
 func (r *RCU) Protect(int, int, *simalloc.Object) {}
 
+// Guard returns nil: the read-side critical section protects the whole
+// traversal, so trees branch away from the protect path entirely.
+func (r *RCU) Guard(int) *Guard { return nil }
+
 // Retire adds o to the bag; when the bag reaches BatchSize the thread waits
 // for a grace period and hands the bag to the freer.
 func (r *RCU) Retire(tid int, o *simalloc.Object) {
@@ -82,8 +96,12 @@ func (r *RCU) Retire(tid int, o *simalloc.Object) {
 }
 
 // synchronize waits until every other thread has exited the read-side
-// critical section it was in when synchronize began.
+// critical section it was in when synchronize began — or is itself parked
+// in synchronize (see rcuThread.syncing).
 func (r *RCU) synchronize(tid int) {
+	me := &r.th[tid]
+	me.syncing.v.Store(1)
+	defer me.syncing.v.Store(0)
 	snap := make([]int64, r.e.cfg.Threads)
 	for t := range r.th {
 		snap[t] = r.th[t].counter.v.Load()
@@ -97,6 +115,12 @@ func (r *RCU) synchronize(tid int) {
 			continue
 		}
 		for r.th[t].counter.v.Load() == snap[t] {
+			if r.th[t].syncing.v.Load() == 1 {
+				// t is parked in its own grace-period wait: it has finished
+				// dereferencing protected nodes, so it cannot hold a
+				// reference into this thread's bag.
+				break
+			}
 			if r.e.stopped() {
 				return
 			}

@@ -28,9 +28,15 @@ import (
 // Call sequence per operation:
 //
 //	r.BeginOp(tid)
-//	... traversal, calling r.Protect(tid, slot, node) on visited nodes ...
+//	... traversal, publishing protection for each visited node ...
 //	... r.OnAlloc(tid, o) after allocating, r.Retire(tid, o) after unlinking ...
 //	r.EndOp(tid)
+//
+// Per-node protection has two equivalent routes: Protect(tid, slot, node)
+// through this interface, or the zero-dispatch Guard fast path (see
+// guard.go) that every reclaimer here also exposes via a concrete
+// Guard(tid) method. The trees prefer the guard; LegacyDispatch forces the
+// interface route.
 type Reclaimer interface {
 	// Name returns the registry name (e.g. "debra", "token_af").
 	Name() string

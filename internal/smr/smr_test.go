@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/simalloc"
 )
@@ -380,6 +381,49 @@ func TestIBRReservationConflict(t *testing.T) {
 	}
 	if victim.State() != simalloc.StateFree {
 		t.Fatal("victim not freed after reservation cleared")
+	}
+}
+
+// TestRCUMutualSynchronizeNoDeadlock pins the rcuThread.syncing bail-out:
+// two threads whose limbo bags fill inside overlapping read-side critical
+// sections both enter synchronize and would spin on each other's frozen odd
+// counters forever. Wall-clock trials used to escape via the harness Stop
+// flag; FixedOps trials have no such rescue, so the livelock must not form
+// at all.
+func TestRCUMutualSynchronizeNoDeadlock(t *testing.T) {
+	for _, af := range []bool{false, true} {
+		cfg := testConfig(2)
+		cfg.BatchSize = 1 // every Retire triggers synchronize
+		r := NewRCU(cfg, af)
+		alloc := cfg.Alloc
+
+		var barrier, done sync.WaitGroup
+		barrier.Add(2)
+		done.Add(2)
+		for tid := 0; tid < 2; tid++ {
+			go func(tid int) {
+				defer done.Done()
+				r.BeginOp(tid)
+				o := alloc.Alloc(tid, 64)
+				barrier.Done()
+				barrier.Wait() // both inside critical sections, bags about to fill
+				r.Retire(tid, o)
+				r.EndOp(tid)
+			}(tid)
+		}
+		finished := make(chan struct{})
+		go func() { done.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("af=%v: mutual synchronize deadlocked", af)
+		}
+		for tid := 0; tid < 2; tid++ {
+			r.Drain(tid)
+		}
+		if st := r.Stats(); st.Freed != 2 || st.Limbo != 0 {
+			t.Fatalf("af=%v: freed=%d limbo=%d after drain", af, st.Freed, st.Limbo)
+		}
 	}
 }
 

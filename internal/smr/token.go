@@ -178,6 +178,10 @@ func (t *Token) OnAlloc(int, *simalloc.Object) {}
 // Protect is a no-op: epoch protection comes from the token round trip.
 func (t *Token) Protect(int, int, *simalloc.Object) {}
 
+// Guard returns nil: token-ring protection needs no per-node publication,
+// so trees branch away from the protect path entirely.
+func (t *Token) Guard(int) *Guard { return nil }
+
 // Retire places o in the current bag.
 func (t *Token) Retire(tid int, o *simalloc.Object) {
 	me := &t.th[tid]

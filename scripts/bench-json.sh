@@ -56,9 +56,29 @@ go run ./cmd/epochgrid \
   -dur "$grid_dur" -keyrange 4096 -trials 2 \
   -format json -out "$tmpdir/grid.json"
 
+# Host metadata, so BENCH_*.json deltas across PRs are attributable: a
+# throughput change means nothing without knowing whether the go toolchain
+# or the core count moved underneath it. GOMAXPROCS comes from the Go
+# runtime itself (cgroup limits and env handling included), not a guess.
+goversion="$(go env GOVERSION)"
+cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+cat > "$tmpdir/gomaxprocs.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() { fmt.Print(runtime.GOMAXPROCS(0)) }
+EOF
+gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
+
 {
   printf '{\n'
   printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "host": {"go": "%s", "gomaxprocs": %s, "cpus": %s, "os": "%s", "arch": "%s"},\n' \
+    "$goversion" "$gomaxprocs" "$cpus" "$(go env GOOS)" "$(go env GOARCH)"
   printf '  "benchmarks": '
   cat "$tmpdir/benchmarks.json"
   printf ',\n  "grid": '
