@@ -48,6 +48,7 @@ func realMain() int {
 		batch      = flag.Int("batch", 0, "limbo-bag batch size (default 2048)")
 		dsName     = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
 		scenario   = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
+		phases     = flag.String("phases", "", "phase schedule applied to every trial: comma-separated [scenario:]LIVExOPS (e.g. \"4x2000,2x2000\")")
 		all        = flag.Bool("all", false, "run every registered experiment")
 		parallel   = flag.Int("parallel", 1, "max in-flight trials for experiment sweeps (1 = serial, bit-compatible order)")
 		storePath  = flag.String("store", "", "JSONL results store: cached trials skip execution, completed trials append")
@@ -162,6 +163,14 @@ func realMain() int {
 		DataStructure: *dsName,
 		Scenario:      *scenario,
 		RunGrid:       runner.GridFunc(),
+	}
+	if *phases != "" {
+		ph, err := bench.ParsePhases(*phases)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: -phases: %v\n", err)
+			return 2
+		}
+		opts.Phases = ph
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

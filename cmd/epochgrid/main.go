@@ -31,8 +31,10 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ds"
 	"repro/internal/grid"
 	"repro/internal/results"
+	"repro/internal/smr"
 )
 
 func main() {
@@ -41,7 +43,9 @@ func main() {
 
 func realMain() int {
 	var (
+		list       = flag.Bool("list", false, "enumerate registered scenarios, data structures, allocators and reclaimers, then exit")
 		scenarios  = flag.String("scenarios", "", "comma-separated scenario axis (default: paper)")
+		phasesFlag = flag.String("phases", "", "phase-schedule axis: schedules separated by ';', each comma-separated [scenario:]LIVExOPS (e.g. \"4x2000,2x2000;8x1000\")")
 		dsNames    = flag.String("ds", "", "comma-separated data structure axis (abtree, occtree, dgtree)")
 		allocators = flag.String("allocators", "", "comma-separated allocator axis (jemalloc, tcmalloc, mimalloc)")
 		reclaimers = flag.String("reclaimers", "", "comma-separated reclaimer axis (see smr registry)")
@@ -64,6 +68,14 @@ func realMain() int {
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Printf("scenarios:       %s\n", strings.Join(bench.Scenarios(), ", "))
+		fmt.Printf("data structures: %s\n", strings.Join(ds.Names(), ", "))
+		fmt.Printf("allocators:      %s\n", strings.Join(grid.Allocators(), ", "))
+		fmt.Printf("reclaimers:      %s\n", strings.Join(smr.Names(), ", "))
+		return 0
+	}
+
 	if *compareOld != "" || *compareNew != "" {
 		return runCompare(*compareOld, *compareNew, *tol, *format, *outPath)
 	}
@@ -74,6 +86,19 @@ func realMain() int {
 		Allocators:     splitAxis(*allocators),
 		Reclaimers:     splitAxis(*reclaimers),
 		Trials:         *trials,
+	}
+	if strings.TrimSpace(*phasesFlag) != "" {
+		for _, sched := range strings.Split(*phasesFlag, ";") {
+			// An empty segment is a real axis member: the unphased trial
+			// (nil schedule), so "-phases \";8x1000\"" sweeps unphased
+			// against phased.
+			ph, err := bench.ParsePhases(sched)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "epochgrid: -phases: %v\n", err)
+				return 2
+			}
+			spec.PhaseSchedules = append(spec.PhaseSchedules, ph)
+		}
 	}
 	var err error
 	if spec.Threads, err = splitInts(*threads); err != nil {
@@ -190,16 +215,35 @@ func openOut(path string) (io.Writer, func(), error) {
 	return f, func() { f.Close() }, nil
 }
 
+// phasesOf renders the phase schedule a summary's trials ran. The trials
+// themselves record it (TrialResult.Phases), which stays accurate even
+// for store records written by a build whose scenario defaults differed;
+// re-deriving from the config is only the fallback for records that
+// predate the field. Empty means the trials were unphased. Every format
+// carries it, so stored artifacts are self-describing about thread churn.
+func phasesOf(s bench.Summary) string {
+	for _, tr := range s.Trials {
+		if tr.Phases != "" {
+			return tr.Phases
+		}
+	}
+	ph, err := bench.EffectivePhases(s.Cfg)
+	if err != nil || len(ph) == 0 {
+		return ""
+	}
+	return bench.FormatPhases(ph)
+}
+
 // emit renders the per-config summaries. Every format carries the seeds a
 // summary aggregates, so stored numbers trace back to their RNG streams.
 func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int) error {
 	switch format {
 	case "table":
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "scenario\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB")
+		fmt.Fprintln(tw, "scenario\tphases\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB")
 		for _, s := range sums {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\n",
-				s.Cfg.Scenario, s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\n",
+				s.Cfg.Scenario, phasesOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
 				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB)
 		}
@@ -207,14 +251,14 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 	case "csv":
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{
-			"scenario", "ds", "allocator", "reclaimer", "threads", "batch",
+			"scenario", "phases", "ds", "allocator", "reclaimer", "threads", "batch",
 			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
 		}); err != nil {
 			return err
 		}
 		for _, s := range sums {
 			if err := cw.Write([]string{
-				s.Cfg.Scenario, s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+				s.Cfg.Scenario, phasesOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				strconv.Itoa(s.Cfg.Threads), strconv.Itoa(s.Cfg.BatchSize),
 				seedList(s), strconv.Itoa(len(s.Trials)),
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
@@ -228,6 +272,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 	case "json":
 		type jsonSummary struct {
 			Scenario      string   `json:"scenario"`
+			Phases        string   `json:"phases,omitempty"`
 			DataStructure string   `json:"ds"`
 			Allocator     string   `json:"allocator"`
 			Reclaimer     string   `json:"reclaimer"`
@@ -247,8 +292,9 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 		}{Executed: executed, Cached: cached}
 		for _, s := range sums {
 			js := jsonSummary{
-				Scenario: s.Cfg.Scenario, DataStructure: s.Cfg.DataStructure,
-				Allocator: s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
+				Scenario: s.Cfg.Scenario, Phases: phasesOf(s),
+				DataStructure: s.Cfg.DataStructure,
+				Allocator:     s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
 				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
 				Trials:  len(s.Trials),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,

@@ -53,27 +53,32 @@ func (m *readMostly) Next() Op {
 	}
 }
 
-// phased alternates fixed-length windows of pure 50/50 churn with windows
-// of pure reads, so retirement arrives in bursts and the reclaimer's limbo
-// drains during the quiet windows.
-type phased struct {
+// burstMix alternates fixed-length windows of pure 50/50 churn with
+// windows of pure reads, so retirement arrives in bursts and the
+// reclaimer's limbo drains during the quiet windows. The window length is
+// WorkloadConfig.BurstOps (with the deprecated PhaseOps alias honored when
+// BurstOps is unset).
+type burstMix struct {
 	r        rng
-	phaseOps int64
+	burstOps int64
 	i        int64
 }
 
-func newPhased(cfg *WorkloadConfig, tid int) OpMix {
-	window := int64(cfg.PhaseOps)
+func newBurstMix(cfg *WorkloadConfig, tid int) OpMix {
+	window := int64(cfg.BurstOps)
+	if window <= 0 {
+		window = int64(cfg.PhaseOps) // deprecated alias
+	}
 	if window <= 0 {
 		window = 4096
 	}
-	return &phased{r: newRNG(opSeed(cfg, tid)), phaseOps: window}
+	return &burstMix{r: newRNG(opSeed(cfg, tid)), burstOps: window}
 }
 
-func (m *phased) Next() Op {
-	pos := m.i % (2 * m.phaseOps)
+func (m *burstMix) Next() Op {
+	pos := m.i % (2 * m.burstOps)
 	m.i++
-	if pos < m.phaseOps { // churn window
+	if pos < m.burstOps { // churn window
 		if m.r.next()&(1<<30) == 0 {
 			return OpInsert
 		}

@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The phase engine.
+//
+// A phased trial replaces the single measured window with a schedule of
+// phases, each a (scenario × live-thread-count × per-worker op budget)
+// triple. Worker goroutines park and unpark at phase boundaries: a worker
+// dropped by a shrinking phase Leaves the participant registry — its limbo
+// is orphaned for survivors to adopt and its allocator cache flushes back
+// with modeled cost — and a worker added by a growing phase Joins,
+// recycling the most recently vacated slot. Inside a phase, workers run
+// the same 64-op batched loop as every other trial (runWorker).
+//
+// All lifecycle transitions are performed serially by the coordinator
+// between phases, while every worker is parked at the barrier: slot
+// assignment, orphan push order, and allocator flush order are therefore
+// deterministic for a given schedule.
+
+// PhaseSpec is one phase of a phased trial.
+type PhaseSpec struct {
+	// Scenario names the workload streams for this phase; empty means the
+	// trial's scenario. Only the named scenario's key/op streams are used —
+	// a default phase schedule it may carry is ignored.
+	Scenario string `json:",omitempty"`
+	// Live is the number of live workers; 0 means all of cfg.Threads.
+	Live int `json:",omitempty"`
+	// Ops is the per-worker operation budget; 0 means cfg.FixedOps when
+	// positive, else DefaultPhaseOps.
+	Ops int `json:",omitempty"`
+}
+
+// DefaultPhaseOps is the per-worker op budget of a phase that specifies
+// none (and whose trial sets no FixedOps).
+const DefaultPhaseOps = 2048
+
+// phaseRun is one resolved phase: every zero field filled in, plus the
+// phase's workload instance.
+type phaseRun struct {
+	spec PhaseSpec
+	wl   Workload
+}
+
+// resolvePhases validates a schedule against cfg and fills the defaults.
+func resolvePhases(cfg *WorkloadConfig, phases []PhaseSpec) ([]phaseRun, error) {
+	runs := make([]phaseRun, 0, len(phases))
+	for i, ph := range phases {
+		if ph.Live == 0 {
+			ph.Live = cfg.Threads
+		}
+		if ph.Live < 1 || ph.Live > cfg.Threads {
+			return nil, fmt.Errorf("bench: phase %d: live count %d outside [1, Threads=%d]", i, ph.Live, cfg.Threads)
+		}
+		if ph.Ops == 0 {
+			if cfg.FixedOps > 0 {
+				ph.Ops = cfg.FixedOps
+			} else {
+				ph.Ops = DefaultPhaseOps
+			}
+		}
+		if ph.Ops < 0 {
+			return nil, fmt.Errorf("bench: phase %d: op budget %d must be positive", i, ph.Ops)
+		}
+		if ph.Scenario == "" {
+			ph.Scenario = cfg.Scenario
+		}
+		wl, err := NewScenario(ph.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("bench: phase %d: %w", i, err)
+		}
+		runs = append(runs, phaseRun{spec: ph, wl: wl})
+	}
+	return runs, nil
+}
+
+// EffectivePhases resolves the schedule cfg would run — its own Phases,
+// else the scenario's default schedule — with every live count and op
+// budget filled in. A nil schedule (and nil error) means the trial is
+// unphased. Emitters use it to make stored results self-describing.
+func EffectivePhases(cfg WorkloadConfig) ([]PhaseSpec, error) {
+	if cfg.Scenario == "" {
+		cfg.Scenario = "paper"
+	}
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		wl, err := NewScenario(cfg.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		if pw, ok := wl.(PhasedWorkload); ok {
+			phases = pw.DefaultPhases(&cfg)
+		}
+	}
+	if len(phases) == 0 {
+		return nil, nil
+	}
+	runs, err := resolvePhases(&cfg, phases)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PhaseSpec, len(runs))
+	for i, r := range runs {
+		out[i] = r.spec
+	}
+	return out, nil
+}
+
+// FormatPhases renders a schedule in the -phases flag syntax: one
+// "[scenario:]LIVExOPS" element per phase, comma-separated (e.g.
+// "4x2000,2x2000" or "paper:4x1000,read_mostly:4x1000").
+func FormatPhases(phases []PhaseSpec) string {
+	parts := make([]string, len(phases))
+	for i, ph := range phases {
+		s := fmt.Sprintf("%dx%d", ph.Live, ph.Ops)
+		if ph.Scenario != "" {
+			s = ph.Scenario + ":" + s
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePhases parses the FormatPhases syntax. Zero live counts and op
+// budgets are allowed and resolve to their defaults at trial time.
+func ParsePhases(s string) ([]PhaseSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var phases []PhaseSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var ph PhaseSpec
+		if i := strings.LastIndexByte(part, ':'); i >= 0 {
+			ph.Scenario = part[:i]
+			part = part[i+1:]
+		}
+		lx, ox, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("bench: phase %q: want [scenario:]LIVExOPS", part)
+		}
+		live, err := strconv.Atoi(lx)
+		if err != nil || live < 0 {
+			return nil, fmt.Errorf("bench: phase %q: bad live count %q", part, lx)
+		}
+		ops, err := strconv.Atoi(ox)
+		if err != nil || ops < 0 {
+			return nil, fmt.Errorf("bench: phase %q: bad op budget %q", part, ox)
+		}
+		ph.Live, ph.Ops = live, ops
+		phases = append(phases, ph)
+	}
+	return phases, nil
+}
+
+// phaseSeed derives phase pi's stream seed. Phase 0 uses the trial seed
+// verbatim, so a one-phase full-population schedule reproduces the exact
+// per-thread streams of an unphased FixedOps trial (pinned by
+// TestSinglePhaseMatchesFixedOps).
+func phaseSeed(base uint64, phase int) uint64 {
+	return base + uint64(phase)*0x9e3779b97f4a7c15
+}
+
+// runPhases drives a resolved schedule over an assembled stack whose
+// prefill has completed, and returns the total op count and the measured
+// wall time. Worker w runs phase streams keyed by its worker index (stable
+// across slot recycling), while its set/allocator/reclaimer calls use
+// whatever slot the registry currently assigns it.
+func runPhases(cfg *WorkloadConfig, st *Stack, runs []phaseRun) (int64, time.Duration, error) {
+	threads := cfg.Threads
+	type phaseCmd struct {
+		slot int
+		kd   KeyDist
+		om   OpMix
+		ops  int
+	}
+	cmds := make([]chan phaseCmd, threads)
+	opsCtr := make([]struct {
+		v int64
+		_ [7]int64
+	}, threads)
+	var workerWG, phaseWG sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		cmds[w] = make(chan phaseCmd)
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			for c := range cmds[w] {
+				pcfg := *cfg
+				pcfg.FixedOps = c.ops
+				n := runWorker(&pcfg, st, c.slot, c.kd, c.om)
+				atomic.AddInt64(&opsCtr[w].v, n)
+				phaseWG.Done()
+			}
+		}(w)
+	}
+
+	// Every slot starts occupied (fixed-population compatibility), worker w
+	// owning slot w; the first phase's shrink vacates the rest.
+	slots := make([]int, threads)
+	for w := range slots {
+		slots[w] = w
+	}
+	cur := threads
+
+	start := time.Now()
+	var err error
+	for pi, pr := range runs {
+		live := pr.spec.Live
+		// Shrink: the highest-indexed workers leave first, so the LIFO
+		// free list re-admits them in reverse order on the next growth.
+		for w := cur - 1; w >= live; w-- {
+			st.Leave(slots[w])
+			slots[w] = -1
+		}
+		// Grow: parked workers re-join on recycled slots.
+		for w := cur; w < live; w++ {
+			slot, jerr := st.Join()
+			if jerr != nil {
+				err = fmt.Errorf("bench: phase %d: %w", pi, jerr)
+				break
+			}
+			slots[w] = slot
+		}
+		if err != nil {
+			break
+		}
+		cur = live
+
+		// Streams are built serially before the phase starts, so scenarios
+		// may share memoized tables across threads without locking.
+		pcfg := *cfg
+		pcfg.Scenario = pr.spec.Scenario
+		pcfg.Seed = phaseSeed(cfg.Seed, pi)
+		phaseWG.Add(live)
+		for w := 0; w < live; w++ {
+			cmds[w] <- phaseCmd{
+				slot: slots[w],
+				kd:   pr.wl.KeyDist(&pcfg, w),
+				om:   pr.wl.OpMix(&pcfg, w),
+				ops:  pr.spec.Ops,
+			}
+		}
+		phaseWG.Wait()
+	}
+	for w := range cmds {
+		close(cmds[w])
+	}
+	workerWG.Wait()
+	wall := time.Since(start)
+
+	var total int64
+	for i := range opsCtr {
+		total += atomic.LoadInt64(&opsCtr[i].v)
+	}
+	return total, wall, err
+}
+
+// churnPhases is the "churn" scenario's default schedule: the full
+// population alternating with half of it, four cycles — enough join events
+// to recycle every vacated slot more than twice at 4+ threads.
+func churnPhases(cfg *WorkloadConfig) []PhaseSpec {
+	half := cfg.Threads / 2
+	if half < 1 {
+		half = 1
+	}
+	ph := make([]PhaseSpec, 0, 8)
+	for i := 0; i < 4; i++ {
+		ph = append(ph, PhaseSpec{Live: cfg.Threads}, PhaseSpec{Live: half})
+	}
+	return ph
+}
+
+// rampupPhases grows the live population from one worker toward the full
+// thread count, roughly doubling per phase.
+func rampupPhases(cfg *WorkloadConfig) []PhaseSpec {
+	var ph []PhaseSpec
+	for n := 1; n < cfg.Threads; n *= 2 {
+		ph = append(ph, PhaseSpec{Live: n})
+	}
+	return append(ph, PhaseSpec{Live: cfg.Threads})
+}
+
+// phaseShiftPhases keeps the population fixed and alternates the workload
+// composition: update-heavy churn, then read-mostly quiet.
+func phaseShiftPhases(*WorkloadConfig) []PhaseSpec {
+	return []PhaseSpec{
+		{Scenario: "paper"}, {Scenario: "read_mostly"},
+		{Scenario: "paper"}, {Scenario: "read_mostly"},
+	}
+}

@@ -36,6 +36,10 @@ type Options struct {
 	// Scenario selects the workload scenario (see Scenarios()); the
 	// default is "paper", the methodology every table and figure uses.
 	Scenario string
+	// Phases, when non-empty, applies a phase schedule to every trial the
+	// experiment runs (see WorkloadConfig.Phases): each table or figure is
+	// then measured under thread churn instead of a fixed population.
+	Phases []PhaseSpec
 	// RecorderCap overrides the per-thread timeline capacity for
 	// record-enabled experiments when positive (smoke tests shrink it; the
 	// default 100000 × 240 threads preallocates hundreds of MiB).
@@ -99,6 +103,7 @@ func (o *Options) workload(threads int) WorkloadConfig {
 	cfg.BatchSize = o.BatchSize
 	cfg.DataStructure = o.DataStructure
 	cfg.Scenario = o.Scenario
+	cfg.Phases = o.Phases
 	if o.RecorderCap > 0 {
 		cfg.RecorderCap = o.RecorderCap
 	}

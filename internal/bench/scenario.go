@@ -44,11 +44,23 @@ type Workload interface {
 	OpMix(cfg *WorkloadConfig, tid int) OpMix
 }
 
-// scenario implements Workload from two per-thread factory closures.
+// PhasedWorkload is the optional Workload extension for scenarios that
+// ship a default phase schedule (see PhaseSpec): when a trial names such a
+// scenario and leaves WorkloadConfig.Phases empty, RunTrial adopts the
+// scenario's schedule. A nil return means the scenario runs unphased.
+type PhasedWorkload interface {
+	Workload
+	// DefaultPhases builds the scenario's phase schedule for cfg.
+	DefaultPhases(cfg *WorkloadConfig) []PhaseSpec
+}
+
+// scenario implements Workload from two per-thread factory closures, plus
+// an optional default phase schedule.
 type scenario struct {
-	name string
-	keys func(cfg *WorkloadConfig, tid int) KeyDist
-	ops  func(cfg *WorkloadConfig, tid int) OpMix
+	name   string
+	keys   func(cfg *WorkloadConfig, tid int) KeyDist
+	ops    func(cfg *WorkloadConfig, tid int) OpMix
+	phases func(cfg *WorkloadConfig) []PhaseSpec
 }
 
 func (s *scenario) Name() string { return s.name }
@@ -56,6 +68,13 @@ func (s *scenario) Name() string { return s.name }
 func (s *scenario) KeyDist(cfg *WorkloadConfig, tid int) KeyDist { return s.keys(cfg, tid) }
 
 func (s *scenario) OpMix(cfg *WorkloadConfig, tid int) OpMix { return s.ops(cfg, tid) }
+
+func (s *scenario) DefaultPhases(cfg *WorkloadConfig) []PhaseSpec {
+	if s.phases == nil {
+		return nil
+	}
+	return s.phases(cfg)
+}
 
 // scenarioFactories maps scenario names to constructors, mirroring
 // smr.Names()/ds.Names() so scenarios are enumerable from tests and CLIs.
@@ -128,6 +147,36 @@ func init() {
 	// windows over uniform keys: retirement arrives in bursts and the
 	// reclaimer's limbo drains between them.
 	RegisterScenario("bursty", func() Workload {
-		return &scenario{name: "bursty", keys: newUniformKeys, ops: newPhased}
+		return &scenario{name: "bursty", keys: newUniformKeys, ops: newBurstMix}
+	})
+	// "churn" runs the paper's update-heavy mix under thread churn: the
+	// default phase schedule alternates the full population with half of
+	// it, so slots are vacated (limbo orphaned, caches flushed) and
+	// recycled repeatedly — the regime where hazard-slot exhaustion,
+	// orphan adoption, and grace periods over departed threads are
+	// actually exercised.
+	RegisterScenario("churn", func() Workload {
+		return &scenario{
+			name: "churn", keys: newUniformKeys, ops: newUpdateHeavy,
+			phases: churnPhases,
+		}
+	})
+	// "rampup" grows the live population from one worker toward the full
+	// thread count, roughly doubling each phase: the reclaimer sees a
+	// stream of joins against a warming allocator.
+	RegisterScenario("rampup", func() Workload {
+		return &scenario{
+			name: "rampup", keys: newUniformKeys, ops: newUpdateHeavy,
+			phases: rampupPhases,
+		}
+	})
+	// "phase_shift" keeps the population fixed but alternates the workload
+	// composition phase by phase — update-heavy churn, then read-mostly
+	// quiet — so limbo fills in one phase and drains in the next.
+	RegisterScenario("phase_shift", func() Workload {
+		return &scenario{
+			name: "phase_shift", keys: newUniformKeys, ops: newUpdateHeavy,
+			phases: phaseShiftPhases,
+		}
 	})
 }

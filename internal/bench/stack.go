@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,11 @@ type Stack struct {
 
 // NewStack constructs the allocator, reclaimer and set for cfg.
 func NewStack(cfg WorkloadConfig) (*Stack, error) {
+	if cfg.Threads <= 0 {
+		// Guard before the substrate constructors, whose own validation
+		// would otherwise panic (simalloc) rather than error.
+		return nil, fmt.Errorf("bench: Threads must be positive (got %d)", cfg.Threads)
+	}
 	s := &Stack{cfg: cfg}
 
 	acfg := simalloc.DefaultConfig(cfg.Threads)
@@ -99,6 +105,21 @@ func NewStack(cfg WorkloadConfig) (*Stack, error) {
 
 // Config returns the configuration the stack was built from.
 func (s *Stack) Config() WorkloadConfig { return s.cfg }
+
+// Join admits a new participant: the reclaimer recycles its most recently
+// vacated slot (cold allocator cache included) and returns it as the
+// caller's tid. It fails when every slot is occupied.
+func (s *Stack) Join() (int, error) { return s.Reclaimer.Join() }
+
+// Leave retires tid's participation across the stack: the reclaimer
+// orphans its pending limbo for surviving threads to adopt and stops
+// counting the slot toward grace periods, then the allocator flushes the
+// slot's thread cache back to the shared pools with modeled cost. The
+// caller must stop using tid until a Join hands the slot out again.
+func (s *Stack) Leave(tid int) {
+	s.Reclaimer.Leave(tid)
+	s.Alloc.FlushThreadCache(tid)
+}
 
 // Stop ends the measured window: blocking grace-period waits inside the
 // reclaimer observe it and bail out, so worker goroutines cannot wedge.

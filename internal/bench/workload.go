@@ -106,9 +106,28 @@ type WorkloadConfig struct {
 	// HotShiftOps is how many per-thread ops pass between hotspot shifts
 	// (default KeyRange).
 	HotShiftOps int
-	// PhaseOps is the per-thread window length, in ops, of the "bursty"
-	// scenario's alternating churn and read phases (default 4096).
+	// BurstOps is the per-thread window length, in ops, of the "bursty"
+	// scenario's alternating churn and read windows (default 4096). It
+	// shapes only that scenario's operation mix; it is unrelated to the
+	// phase engine's PhaseSpec.Ops, which bounds whole trial phases.
+	BurstOps int
+	// PhaseOps is the deprecated alias of BurstOps, from before the phase
+	// engine claimed the word "phase". Used only when BurstOps is zero.
+	//
+	// Deprecated: set BurstOps.
 	PhaseOps int
+
+	// Phases, when non-empty, turns the trial into a phased workload: the
+	// schedule runs in order, each phase driving Live workers for Ops
+	// operations each under the phase's scenario. Workers beyond a phase's
+	// live count Leave the participant registry (limbo orphaned for
+	// survivors to adopt, allocator cache flushed with modeled cost) and
+	// park; re-grown phases Join again, recycling vacated slots. Duration
+	// is ignored — every phase is op-bounded — and FixedOps serves as the
+	// per-worker default for phases whose Ops is zero. Scenarios may also
+	// carry a default schedule (see PhasedWorkload) used when this field
+	// is empty.
+	Phases []PhaseSpec
 }
 
 // DefaultWorkload returns the scaled-down version of the paper's
@@ -137,6 +156,10 @@ func DefaultWorkload(threads int) WorkloadConfig {
 type TrialResult struct {
 	// Scenario is the workload scenario the trial ran.
 	Scenario string
+	// Phases is the resolved phase schedule the trial ran, in the
+	// ParsePhases syntax; empty for unphased trials. Stored results are
+	// therefore self-describing about thread churn.
+	Phases string `json:",omitempty"`
 	// Seed is the per-thread RNG stream seed the trial actually used (after
 	// any RunTrials chaining), so a stored result can be traced back to —
 	// and re-executed with — the exact streams that produced it.
@@ -362,6 +385,20 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
+	// A schedule in the config — or a default one shipped by the scenario —
+	// routes the trial through the phase engine after the shared prefill.
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		if pw, ok := wl.(PhasedWorkload); ok {
+			phases = pw.DefaultPhases(&cfg)
+		}
+	}
+	var runs []phaseRun
+	if len(phases) > 0 {
+		if runs, err = resolvePhases(&cfg, phases); err != nil {
+			return TrialResult{}, err
+		}
+	}
 	st, err := NewStack(cfg)
 	if err != nil {
 		return TrialResult{}, err
@@ -369,6 +406,23 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	prefill(&cfg, st.Set)
 	if f := afterPrefill.Swap(nil); f != nil {
 		(*f)()
+	}
+
+	if runs != nil {
+		total, wall, perr := runPhases(&cfg, st, runs)
+		if perr != nil {
+			st.Close()
+			return TrialResult{}, perr
+		}
+		st.Stop()
+		res := st.Snapshot(total, wall)
+		specs := make([]PhaseSpec, len(runs))
+		for i, r := range runs {
+			specs[i] = r.spec
+		}
+		res.Phases = FormatPhases(specs)
+		st.Close()
+		return res, nil
 	}
 
 	// Per-thread streams are built serially, before the workers start, so

@@ -54,6 +54,48 @@ func TestSpecExpansionOrderAndSize(t *testing.T) {
 	}
 }
 
+func TestSpecPhaseScheduleAxis(t *testing.T) {
+	churn := []bench.PhaseSpec{{Live: 2, Ops: 100}, {Live: 1, Ops: 100}}
+	s := Spec{
+		Base:           bench.DefaultWorkload(2),
+		Scenarios:      []string{"paper", "zipf"},
+		PhaseSchedules: [][]bench.PhaseSpec{nil, churn},
+		Reclaimers:     []string{"debra"},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfgs := s.Expand()
+	if len(cfgs) != 4 || s.Size() != 4 {
+		t.Fatalf("expanded %d configs (Size %d), want 4", len(cfgs), s.Size())
+	}
+	// Phases sit directly inside the scenario axis.
+	for i, want := range []struct {
+		scenario string
+		phased   bool
+	}{{"paper", false}, {"paper", true}, {"zipf", false}, {"zipf", true}} {
+		c := cfgs[i]
+		if c.Scenario != want.scenario || (len(c.Phases) > 0) != want.phased {
+			t.Fatalf("cfg[%d] = %s phases=%v, want %s phased=%v",
+				i, c.Scenario, c.Phases, want.scenario, want.phased)
+		}
+	}
+	// Phased and unphased twins of the same config must not share keys.
+	if results.GroupOf(cfgs[0]) == results.GroupOf(cfgs[1]) {
+		t.Fatal("phased and unphased configs share a group key")
+	}
+
+	for _, bad := range []Spec{
+		{PhaseSchedules: [][]bench.PhaseSpec{{{Scenario: "bogus"}}}},
+		{PhaseSchedules: [][]bench.PhaseSpec{{{Live: -1}}}},
+		{PhaseSchedules: [][]bench.PhaseSpec{{{Ops: -1}}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("bad schedule accepted: %+v", bad)
+		}
+	}
+}
+
 func TestSpecEmptyAxesInheritBase(t *testing.T) {
 	var s Spec
 	cfgs := s.Expand()

@@ -30,11 +30,16 @@ type Spec struct {
 	// Base supplies every knob the axes don't sweep (duration, key range,
 	// seed, ...). A zero Base means bench.DefaultWorkload.
 	Base bench.WorkloadConfig
-	// The sweep axes. Expansion order is scenarios (outermost), data
-	// structures, allocators, threads, batch sizes, reclaimers (innermost)
-	// — fixed and documented so rendered tables and stored artifacts are
-	// reproducible.
-	Scenarios      []string
+	// The sweep axes. Expansion order is scenarios (outermost), phase
+	// schedules, data structures, allocators, threads, batch sizes,
+	// reclaimers (innermost) — fixed and documented so rendered tables and
+	// stored artifacts are reproducible.
+	Scenarios []string
+	// PhaseSchedules is the phase-engine axis: each entry is one complete
+	// schedule (see bench.PhaseSpec) applied to WorkloadConfig.Phases.
+	// Empty inherits Base.Phases (usually none, i.e. unphased trials —
+	// though scenarios with default schedules still phase themselves).
+	PhaseSchedules [][]bench.PhaseSpec
 	DataStructures []string
 	Allocators     []string
 	Threads        []int
@@ -91,6 +96,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Scenarios) == 0 {
 		s.Scenarios = []string{s.Base.Scenario}
 	}
+	if len(s.PhaseSchedules) == 0 {
+		s.PhaseSchedules = [][]bench.PhaseSpec{s.Base.Phases}
+	}
 	if len(s.DataStructures) == 0 {
 		s.DataStructures = []string{s.Base.DataStructure}
 	}
@@ -135,6 +143,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("grid: batch size %d must be positive", b)
 		}
 	}
+	// Schedules are checked per thread-count at expansion-compatible
+	// strictness here: scenario names must resolve and counts must be
+	// non-negative; the live-vs-threads bound is enforced per trial.
+	for i, sched := range s.PhaseSchedules {
+		for j, ph := range sched {
+			if ph.Scenario != "" {
+				if err := validateNames("phase scenario", []string{ph.Scenario}, bench.Scenarios()); err != nil {
+					return fmt.Errorf("grid: schedule %d phase %d: %w", i, j, err)
+				}
+			}
+			if ph.Live < 0 || ph.Ops < 0 {
+				return fmt.Errorf("grid: schedule %d phase %d: negative live/ops", i, j)
+			}
+		}
+	}
 	if s.Base.Duration <= 0 {
 		return fmt.Errorf("grid: duration %v must be positive", s.Base.Duration)
 	}
@@ -157,8 +180,8 @@ func validateNames(kind string, got, known []string) error {
 // Size returns the number of configurations the spec expands to.
 func (s Spec) Size() int {
 	s = s.withDefaults()
-	return len(s.Scenarios) * len(s.DataStructures) * len(s.Allocators) *
-		len(s.Threads) * len(s.BatchSizes) * len(s.Reclaimers)
+	return len(s.Scenarios) * len(s.PhaseSchedules) * len(s.DataStructures) *
+		len(s.Allocators) * len(s.Threads) * len(s.BatchSizes) * len(s.Reclaimers)
 }
 
 // Expand materializes the cartesian product in the documented axis order.
@@ -166,19 +189,22 @@ func (s Spec) Expand() []bench.WorkloadConfig {
 	s = s.withDefaults()
 	cfgs := make([]bench.WorkloadConfig, 0, s.Size())
 	for _, scenario := range s.Scenarios {
-		for _, dsName := range s.DataStructures {
-			for _, alloc := range s.Allocators {
-				for _, threads := range s.Threads {
-					for _, batch := range s.BatchSizes {
-						for _, rec := range s.Reclaimers {
-							cfg := s.Base
-							cfg.Scenario = scenario
-							cfg.DataStructure = dsName
-							cfg.Allocator = alloc
-							cfg.Threads = threads
-							cfg.BatchSize = batch
-							cfg.Reclaimer = rec
-							cfgs = append(cfgs, cfg)
+		for _, phases := range s.PhaseSchedules {
+			for _, dsName := range s.DataStructures {
+				for _, alloc := range s.Allocators {
+					for _, threads := range s.Threads {
+						for _, batch := range s.BatchSizes {
+							for _, rec := range s.Reclaimers {
+								cfg := s.Base
+								cfg.Scenario = scenario
+								cfg.Phases = phases
+								cfg.DataStructure = dsName
+								cfg.Allocator = alloc
+								cfg.Threads = threads
+								cfg.BatchSize = batch
+								cfg.Reclaimer = rec
+								cfgs = append(cfgs, cfg)
+							}
 						}
 					}
 				}

@@ -31,7 +31,12 @@ import (
 // default changed from the per-op legacy policy (1) to the batched auto
 // policy (0) — all three alter what a stored trial measured, so every key
 // moves.
-const SchemaVersion = 2
+//
+// v3: the thread-lifecycle core. WorkloadConfig gained Phases (the phase
+// engine's schedule) and the BurstOps rename of PhaseOps, TrialResult
+// gained Phases, and smr.Stats gained the Joins/Leaves/Adopted lifecycle
+// counters — the record layout and the hashed config both changed.
+const SchemaVersion = 3
 
 // Normalize fills the configuration defaults that the harness would apply
 // at run time (RunTrial, NewStack, smr.Config.fillDefaults), so that a
@@ -57,6 +62,21 @@ func Normalize(cfg bench.WorkloadConfig) bench.WorkloadConfig {
 	}
 	if cfg.EraFreq <= 0 {
 		cfg.EraFreq = 64
+	}
+	// Fold the deprecated PhaseOps alias into BurstOps, its canonical
+	// spelling, so configs written either way share a key. Phases itself
+	// hashes as-is: materializing a scenario's default schedule here would
+	// couple every key to scenario internals (the conservative policy
+	// above), so an explicit schedule and its scenario-default twin
+	// under-share, never mis-share.
+	if cfg.BurstOps <= 0 && cfg.PhaseOps > 0 {
+		cfg.BurstOps = cfg.PhaseOps
+	}
+	cfg.PhaseOps = 0
+	// An empty schedule and a nil one are the same (unphased) trial, but
+	// marshal as [] vs null — fold to nil so they share a key.
+	if len(cfg.Phases) == 0 {
+		cfg.Phases = nil
 	}
 	// YieldEvery needs no normalization: 0 is the auto yield policy, a real
 	// configuration distinct from every explicit stride. FixedOps and
@@ -117,9 +137,14 @@ func GroupOf(cfg bench.WorkloadConfig) string {
 }
 
 // Label renders a configuration as a compact human-readable group label
-// for reports: scenario/ds/allocator/reclaimer/threads/batch.
+// for reports: scenario/ds/allocator/reclaimer/threads/batch, with an
+// explicit phase schedule appended when the config carries one.
 func Label(cfg bench.WorkloadConfig) string {
 	n := Normalize(cfg)
-	return fmt.Sprintf("%s/%s/%s/%s/t%d/b%d",
+	label := fmt.Sprintf("%s/%s/%s/%s/t%d/b%d",
 		n.Scenario, n.DataStructure, n.Allocator, n.Reclaimer, n.Threads, n.BatchSize)
+	if len(n.Phases) > 0 {
+		label += "/" + bench.FormatPhases(n.Phases)
+	}
+	return label
 }

@@ -71,6 +71,50 @@ func TestKeyNormalizationEquivalences(t *testing.T) {
 	}
 }
 
+func TestBurstOpsAliasSharesKey(t *testing.T) {
+	// The deprecated PhaseOps spelling folds into BurstOps, so configs
+	// written either way address the same trial; BurstOps wins when both
+	// are set.
+	viaAlias := testConfig(4, 7)
+	viaAlias.PhaseOps = 512
+	canonical := testConfig(4, 7)
+	canonical.BurstOps = 512
+	both := canonical
+	both.PhaseOps = 999
+	if KeyOf(viaAlias) != KeyOf(canonical) || KeyOf(both) != KeyOf(canonical) {
+		t.Fatal("PhaseOps alias and BurstOps hash differently")
+	}
+	other := testConfig(4, 7)
+	other.BurstOps = 1024
+	if KeyOf(other) == KeyOf(canonical) {
+		t.Fatal("different burst windows share a key")
+	}
+}
+
+func TestPhasesSeparateKeys(t *testing.T) {
+	// A phase schedule is part of what the trial measured.
+	flat := testConfig(4, 7)
+	phased := flat
+	phased.Phases = []bench.PhaseSpec{{Live: 4, Ops: 100}, {Live: 2, Ops: 100}}
+	if KeyOf(flat) == KeyOf(phased) || GroupOf(flat) == GroupOf(phased) {
+		t.Fatal("phased and unphased configs share keys")
+	}
+	// ...but an empty (non-nil) schedule is still the unphased trial.
+	empty := flat
+	empty.Phases = []bench.PhaseSpec{}
+	if KeyOf(empty) != KeyOf(flat) {
+		t.Fatal("empty and nil schedules hash differently")
+	}
+	longer := phased
+	longer.Phases = append(append([]bench.PhaseSpec{}, phased.Phases...), bench.PhaseSpec{Live: 4, Ops: 100})
+	if KeyOf(longer) == KeyOf(phased) {
+		t.Fatal("different schedules share a key")
+	}
+	if !strings.Contains(Label(phased), "4x100") {
+		t.Fatalf("label omits the schedule: %q", Label(phased))
+	}
+}
+
 func TestSeedSeparatesKeysButNotGroups(t *testing.T) {
 	a := testConfig(4, 1)
 	b := testConfig(4, 2)

@@ -15,8 +15,16 @@ type Allocator interface {
 	// Free returns o to the allocator on behalf of tid. o must be in the
 	// allocated state; a double free panics.
 	Free(tid int, o *Object)
-	// FlushThreadCaches returns every cached object to the shared pools,
-	// as if all threads exited. Used between benchmark trials.
+	// FlushThreadCache returns tid's cached objects to the shared pools
+	// with modeled cost, as when one thread exits and its cache is torn
+	// down (jemalloc tcache_destroy, tcmalloc ThreadCache teardown). The
+	// participant lifecycle calls it on Leave; the next occupant of the
+	// slot starts with a cold cache and re-primes it through the ordinary
+	// refill path.
+	FlushThreadCache(tid int)
+	// FlushThreadCaches returns every cached object to the shared pools
+	// without charging modeled cost, as if all threads exited. Used
+	// between benchmark trials.
 	FlushThreadCaches()
 	// Stats returns an aggregated snapshot of allocator activity.
 	Stats() Stats

@@ -213,14 +213,21 @@ func (a *JEMalloc) Free(tid int, o *Object) {
 // objects in the same order as the scan-per-round structure; the modeled
 // statistics are bit-identical (pinned by TestFlushGroupingInvariance).
 func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
-	f0 := clock.Now()
-	ts := &a.stats.perThread[tid]
-	ts.flushes++
-
 	n := int(float64(a.cfg.TCacheCap) * a.cfg.FlushFraction)
 	if n > tc.list.len() {
 		n = tc.list.len()
 	}
+	a.flushN(tid, class, tc, n)
+}
+
+// flushN returns the first n cached objects of one tcache bin to their
+// arenas with the full modeled cost. The overflow path (flush) passes the
+// FlushFraction count; thread-exit teardown (FlushThreadCache) passes the
+// whole bin.
+func (a *JEMalloc) flushN(tid int, class uint8, tc *jeTCacheBin, n int) {
+	f0 := clock.Now()
+	ts := &a.stats.perThread[tid]
+	ts.flushes++
 
 	cache := &a.caches[tid]
 	cache.flushSeq++
@@ -293,6 +300,24 @@ func (a *JEMalloc) flush(tid int, class uint8, tc *jeTCacheBin) {
 	cache.groups = groups[:0]
 	ts.flushNanos += clock.Now() - f0
 	ts.clockReads += 2 // the f0/end pair
+}
+
+// FlushThreadCache tears down tid's tcache with modeled cost: every
+// non-empty bin is returned to its arenas through the same locking
+// discipline as an overflow flush, but covering the whole bin — jemalloc's
+// tcache_destroy path. A departing thread pays it once on Leave.
+func (a *JEMalloc) FlushThreadCache(tid int) {
+	ts := &a.stats.perThread[tid]
+	for class := range a.caches[tid].bins {
+		tc := &a.caches[tid].bins[class]
+		if tc.list.len() == 0 {
+			continue
+		}
+		t0 := clock.Now()
+		a.flushN(tid, uint8(class), tc, tc.list.len())
+		ts.freeNanos += clock.Now() - t0
+		ts.clockReads += 2
+	}
 }
 
 // FlushThreadCaches returns every cached object to its arena bin without

@@ -169,6 +169,12 @@ func (a *MIMalloc) Free(tid int, o *Object) {
 	ts.clockReads += 2
 }
 
+// FlushThreadCache is a no-op: mimalloc has no thread cache separate from
+// its pages. A departing thread's pages stay attached to the slot — the
+// model's analogue of mimalloc's abandoned-segment list, which the next
+// thread recycled onto the slot adopts wholesale.
+func (a *MIMalloc) FlushThreadCache(int) {}
+
 // FlushThreadCaches is a no-op: mimalloc has no thread caches separate from
 // pages, and pages already hold their free objects.
 func (a *MIMalloc) FlushThreadCaches() {}

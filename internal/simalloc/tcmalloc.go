@@ -150,14 +150,22 @@ func (a *TCMalloc) Free(tid int, o *Object) {
 // the central lock for the entire batch, mirroring tcmalloc's
 // ReleaseToCentralCache.
 func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
-	f0 := clock.Now()
-	ts := &a.stats.perThread[tid]
-	ts.flushes++
-
 	n := int(float64(a.cfg.TCacheCap) * a.cfg.FlushFraction)
 	if n > tc.len() {
 		n = tc.len()
 	}
+	a.spillN(tid, class, tc, n)
+}
+
+// spillN moves the first n cached objects of one class to the central list
+// with the full modeled cost. The overflow path (spill) passes the
+// FlushFraction count; thread-exit teardown (FlushThreadCache) passes the
+// whole cache.
+func (a *TCMalloc) spillN(tid int, class uint8, tc *objList, n int) {
+	f0 := clock.Now()
+	ts := &a.stats.perThread[tid]
+	ts.flushes++
+
 	central := &a.central[class]
 	// The central free list is one global synchronization point per size
 	// class: every spill reserves it for the whole batch, which is why the
@@ -184,6 +192,24 @@ func (a *TCMalloc) spill(tid int, class uint8, tc *objList) {
 	central.mu.Unlock()
 	ts.flushNanos += clock.Now() - f0
 	ts.clockReads += 2 // the f0/end pair
+}
+
+// FlushThreadCache tears down tid's thread cache with modeled cost: every
+// non-empty class spills entirely to its central free list under the
+// per-class lock — tcmalloc's ThreadCache teardown. A departing thread
+// pays it once on Leave.
+func (a *TCMalloc) FlushThreadCache(tid int) {
+	ts := &a.stats.perThread[tid]
+	for class := range a.caches[tid].bins {
+		tc := &a.caches[tid].bins[class]
+		if tc.len() == 0 {
+			continue
+		}
+		t0 := clock.Now()
+		a.spillN(tid, uint8(class), tc, tc.len())
+		ts.freeNanos += clock.Now() - t0
+		ts.clockReads += 2
+	}
 }
 
 // FlushThreadCaches returns every cached object to the central lists.

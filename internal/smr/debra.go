@@ -64,14 +64,22 @@ func (d *DEBRA) BeginOp(tid int) {
 		}
 		me.cur = int(ge % 3)
 		me.scanIdx = 0
+		// Adoption point: orphans enter the current-epoch bag, so they
+		// wait out a full two-epoch grace period from here — conservative
+		// (they were unlinked earlier) and therefore safe.
+		if d.e.reg.hasOrphans() {
+			me.bags[me.cur] = d.e.reg.adoptInto(me.bags[me.cur])
+		}
 	}
 
 	me.opCount++
 	if me.opCount%d.e.cfg.EpochCheckOps != 0 {
 		return
 	}
-	// Amortized scan: check one other thread per operation.
-	if d.th[me.scanIdx].announced.v.Load() == ge {
+	// Amortized scan: check one other thread per operation. Vacated slots
+	// are skipped — a departed participant has no in-flight operation, so
+	// the epoch must not wait on its stale announcement.
+	if !d.e.reg.isLive(me.scanIdx) || d.th[me.scanIdx].announced.v.Load() == ge {
 		me.scanIdx++
 		if me.scanIdx >= d.e.cfg.Threads {
 			me.scanIdx = 0
@@ -102,9 +110,41 @@ func (d *DEBRA) Retire(tid int, o *simalloc.Object) {
 	d.e.noteRetire(tid)
 }
 
-// Drain frees all bags and the freeable list unconditionally.
+// Join occupies a vacated slot and primes its announcement at the current
+// epoch, so the joiner counts toward — without stalling — the next advance.
+func (d *DEBRA) Join() (int, error) {
+	slot, err := d.e.reg.join()
+	if err != nil {
+		return -1, err
+	}
+	me := &d.th[slot]
+	ge := d.e.epochs.Load()
+	me.cur = int(ge % 3)
+	me.scanIdx = 0
+	me.opCount = 0
+	me.announced.v.Store(ge)
+	return slot, nil
+}
+
+// Leave hands the slot's three limbo bags and any queued freeable objects
+// to the orphan queue and vacates the slot.
+func (d *DEBRA) Leave(tid int) {
+	me := &d.th[tid]
+	for i := range me.bags {
+		d.e.reg.orphan(me.bags[i])
+		me.bags[i] = nil
+	}
+	d.f.orphanAll(d.e.reg, tid)
+	d.e.reg.leave(tid)
+}
+
+// Drain frees all bags, pending orphans, and the freeable list
+// unconditionally.
 func (d *DEBRA) Drain(tid int) {
 	me := &d.th[tid]
+	if d.e.reg.hasOrphans() {
+		me.bags[me.cur] = d.e.reg.adoptInto(me.bags[me.cur])
+	}
 	for i := range me.bags {
 		if len(me.bags[i]) > 0 {
 			d.f.freeBatch(tid, me.bags[i])

@@ -24,6 +24,12 @@ type freer interface {
 	pump(tid int)
 	// drainAll releases everything still queued for tid.
 	drainAll(tid int)
+	// orphanAll hands tid's queued-but-unfreed objects to the registry's
+	// orphan queue (participant departure). The objects were already
+	// grace-proven safe, but re-homing them through a survivor's limbo —
+	// and thus a second grace period — keeps every adoption path uniform
+	// and is merely conservative.
+	orphanAll(reg *participants, tid int)
 	// queued reports tid's freeable-list length.
 	queued(tid int) int
 }
@@ -60,9 +66,10 @@ func (b *batchFreer) freeBatch(tid int, batch []*simalloc.Object) {
 	e.rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
 }
 
-func (b *batchFreer) pump(int)       {}
-func (b *batchFreer) drainAll(int)   {}
-func (b *batchFreer) queued(int) int { return 0 }
+func (b *batchFreer) pump(int)                     {}
+func (b *batchFreer) drainAll(int)                 {}
+func (b *batchFreer) orphanAll(*participants, int) {}
+func (b *batchFreer) queued(int) int               { return 0 }
 
 // afQueue is one thread's freeable list. A plain FIFO ring over a slice; the
 // owner is the only accessor.
@@ -179,6 +186,21 @@ func (a *amortizedFreer) drainAll(tid int) {
 	if n > 0 {
 		e.noteFree(tid, n)
 	}
+}
+
+func (a *amortizedFreer) orphanAll(reg *participants, tid int) {
+	q := &a.queues[tid]
+	if q.len() == 0 {
+		q.objs = q.objs[:0]
+		q.head = 0
+		return
+	}
+	batch := make([]*simalloc.Object, q.len())
+	copy(batch, q.objs[q.head:])
+	clear(q.objs)
+	q.objs = q.objs[:0]
+	q.head = 0
+	reg.orphan(batch)
 }
 
 func (a *amortizedFreer) queued(tid int) int { return a.queues[tid].len() }

@@ -127,6 +127,12 @@ func (h *HE) Retire(tid int, o *simalloc.Object) {
 // thread's published era.
 func (h *HE) scan(tid int) {
 	me := &h.th[tid]
+	// Adoption point: orphans keep their birth/retire era stamps, so the
+	// interval test below applies to them unchanged once they join the
+	// retire list.
+	if h.e.reg.hasOrphans() {
+		me.retired = h.e.reg.adoptInto(me.retired)
+	}
 	// Snapshot reservations once; O(threads × slots).
 	reserved := me.eras[:0]
 	for i := range h.slots {
@@ -160,9 +166,30 @@ func (h *HE) scan(tid int) {
 	h.e.sampleGarbage(tid)
 }
 
-// Drain frees everything pending unconditionally.
+// Join occupies a vacated slot; its era reservations are already cleared
+// (-1), so the joiner starts unreserved as a fresh thread would.
+func (h *HE) Join() (int, error) { return h.e.reg.join() }
+
+// Leave clears the slot's era reservations, hands its retire list and any
+// queued freeable objects to the orphan queue, and vacates the slot.
+func (h *HE) Leave(tid int) {
+	base := tid * h.e.cfg.HazardSlots
+	for i := 0; i < h.e.cfg.HazardSlots; i++ {
+		h.slots[base+i].v.Store(-1)
+	}
+	me := &h.th[tid]
+	h.e.reg.orphan(me.retired)
+	me.retired = nil
+	h.f.orphanAll(h.e.reg, tid)
+	h.e.reg.leave(tid)
+}
+
+// Drain frees everything pending — including orphans — unconditionally.
 func (h *HE) Drain(tid int) {
 	me := &h.th[tid]
+	if h.e.reg.hasOrphans() {
+		me.retired = h.e.reg.adoptInto(me.retired)
+	}
 	if len(me.retired) > 0 {
 		h.f.freeBatch(tid, me.retired)
 		me.retired = me.retired[:0]

@@ -92,6 +92,12 @@ func (h *HP) Retire(tid int, o *simalloc.Object) {
 // hands the latter to the freer as one batch.
 func (h *HP) scan(tid int) {
 	me := &h.th[tid]
+	// Adoption point: orphans join the retire list before the hazard
+	// snapshot, so anything still published in a live thread's window is
+	// kept and everything else frees with this batch.
+	if h.e.reg.hasOrphans() {
+		me.retired = h.e.reg.adoptInto(me.retired)
+	}
 	clear(me.scratch)
 	for i := range h.slots {
 		if o := h.slots[i].p.Load(); o != nil {
@@ -115,10 +121,32 @@ func (h *HP) scan(tid int) {
 	h.e.sampleGarbage(tid)
 }
 
-// Drain frees everything pending regardless of hazards (only call once all
-// threads have stopped).
+// Join occupies a vacated slot; its hazard window is already clear (Leave
+// and EndOp both nil it), so the joiner starts unprotected as a fresh
+// thread would.
+func (h *HP) Join() (int, error) { return h.e.reg.join() }
+
+// Leave clears the slot's hazard window, hands its retire list and any
+// queued freeable objects to the orphan queue, and vacates the slot.
+func (h *HP) Leave(tid int) {
+	base := tid * h.e.cfg.HazardSlots
+	for i := 0; i < h.e.cfg.HazardSlots; i++ {
+		h.slots[base+i].p.Store(nil)
+	}
+	me := &h.th[tid]
+	h.e.reg.orphan(me.retired)
+	me.retired = nil
+	h.f.orphanAll(h.e.reg, tid)
+	h.e.reg.leave(tid)
+}
+
+// Drain frees everything pending — including orphans — regardless of
+// hazards (only call once all threads have stopped).
 func (h *HP) Drain(tid int) {
 	me := &h.th[tid]
+	if h.e.reg.hasOrphans() {
+		me.retired = h.e.reg.adoptInto(me.retired)
+	}
 	if len(me.retired) > 0 {
 		h.f.freeBatch(tid, me.retired)
 		me.retired = me.retired[:0]

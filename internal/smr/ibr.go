@@ -108,6 +108,11 @@ func (i *IBR) Retire(tid int, o *simalloc.Object) {
 // scan frees retired objects disjoint from all reservation intervals.
 func (i *IBR) scan(tid int) {
 	me := &i.th[tid]
+	// Adoption point: orphans keep their birth/retire epoch stamps, so
+	// the interval-disjointness test applies to them unchanged.
+	if i.e.reg.hasOrphans() {
+		me.retired = i.e.reg.adoptInto(me.retired)
+	}
 	reserved := me.ivs[:0]
 	for t := 0; t < i.e.cfg.Threads; t++ {
 		lo := i.lower[t].v.Load()
@@ -142,9 +147,28 @@ func (i *IBR) scan(tid int) {
 	i.e.sampleGarbage(tid)
 }
 
-// Drain frees everything pending unconditionally.
+// Join occupies a vacated slot; its reservation interval is already
+// cleared (-1,-1), so the joiner starts unreserved as a fresh thread.
+func (i *IBR) Join() (int, error) { return i.e.reg.join() }
+
+// Leave clears the slot's reservation interval, hands its retire list and
+// any queued freeable objects to the orphan queue, and vacates the slot.
+func (i *IBR) Leave(tid int) {
+	i.lower[tid].v.Store(-1)
+	i.upper[tid].v.Store(-1)
+	me := &i.th[tid]
+	i.e.reg.orphan(me.retired)
+	me.retired = nil
+	i.f.orphanAll(i.e.reg, tid)
+	i.e.reg.leave(tid)
+}
+
+// Drain frees everything pending — including orphans — unconditionally.
 func (i *IBR) Drain(tid int) {
 	me := &i.th[tid]
+	if i.e.reg.hasOrphans() {
+		me.retired = i.e.reg.adoptInto(me.retired)
+	}
 	if len(me.retired) > 0 {
 		i.f.freeBatch(tid, me.retired)
 		me.retired = me.retired[:0]

@@ -113,6 +113,14 @@ func (n *NBR) Retire(tid int, o *simalloc.Object) {
 	me := &n.th[tid]
 	if len(me.bag) == 0 {
 		me.bagStartDone = n.done.v.Load()
+		// Adoption point: orphans enter at bag start, so they are covered
+		// by exactly the argument that covers the bag — everything in it
+		// was unlinked before bagStartDone was sampled, and a completed
+		// round after that point (run or elided) proves no reader holds a
+		// reference. Adopting mid-bag would break NBR+'s elision proof.
+		if n.e.reg.hasOrphans() {
+			me.bag = n.e.reg.adoptInto(me.bag)
+		}
 	}
 	me.bag = append(me.bag, o)
 	n.e.noteRetire(tid)
@@ -143,9 +151,36 @@ func (n *NBR) neutralize(tid int) {
 	n.e.sampleGarbage(tid)
 }
 
-// Drain frees everything pending unconditionally.
+// Join occupies a vacated slot and primes its acknowledgement at the
+// current round, so an in-flight neutralization never waits on the joiner
+// for a round that predates it.
+func (n *NBR) Join() (int, error) {
+	slot, err := n.e.reg.join()
+	if err != nil {
+		return -1, err
+	}
+	n.acks[slot].v.Store(n.round.v.Load())
+	return slot, nil
+}
+
+// Leave marks the slot idle (neutralizers treat idle threads as implicitly
+// acknowledged, so no round ever waits on it), hands its bag and any
+// queued freeable objects to the orphan queue, and vacates the slot.
+func (n *NBR) Leave(tid int) {
+	me := &n.th[tid]
+	me.active.v.Store(0)
+	n.e.reg.orphan(me.bag)
+	me.bag = nil
+	n.f.orphanAll(n.e.reg, tid)
+	n.e.reg.leave(tid)
+}
+
+// Drain frees everything pending — including orphans — unconditionally.
 func (n *NBR) Drain(tid int) {
 	me := &n.th[tid]
+	if n.e.reg.hasOrphans() {
+		me.bag = n.e.reg.adoptInto(me.bag)
+	}
 	if len(me.bag) > 0 {
 		n.f.freeBatch(tid, me.bag)
 		me.bag = me.bag[:0]

@@ -39,6 +39,14 @@ func (n *None) Retire(tid int, _ *simalloc.Object) {
 	n.e.noteRetire(tid)
 }
 
+// Join occupies a vacated slot; the baseline keeps no per-slot state to
+// re-prime.
+func (n *None) Join() (int, error) { return n.e.reg.join() }
+
+// Leave vacates the slot. There is no limbo to orphan — retired objects
+// were already leaked at Retire.
+func (n *None) Leave(tid int) { n.e.reg.leave(tid) }
+
 // Drain is a no-op: the point of the baseline is that nothing is freed.
 func (n *None) Drain(int) {}
 

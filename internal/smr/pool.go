@@ -85,6 +85,19 @@ func (p *PoolAllocator) Free(tid int, o *simalloc.Object) {
 	p.base.Free(tid, o)
 }
 
+// FlushThreadCache returns tid's pooled objects to the base allocator
+// through its ordinary (costed) free path, then tears down the base's
+// cache for the slot — a departing thread's pool does not outlive it.
+func (p *PoolAllocator) FlushThreadCache(tid int) {
+	for c := range p.th[tid].bins {
+		for _, o := range p.th[tid].bins[c] {
+			p.base.Free(tid, o)
+		}
+		p.th[tid].bins[c] = nil
+	}
+	p.base.FlushThreadCache(tid)
+}
+
 // FlushThreadCaches returns every pooled object to the base allocator and
 // flushes the base's own caches.
 func (p *PoolAllocator) FlushThreadCaches() {

@@ -57,10 +57,17 @@ func (q *QSBR) EndOp(tid int) {
 		}
 		me.cur = int(ge % 3)
 		me.scanIdx = 0
+		// Adoption point: orphans join the current-epoch bag and wait out
+		// a fresh two-epoch grace period (conservative, therefore safe).
+		if q.e.reg.hasOrphans() {
+			me.bags[me.cur] = q.e.reg.adoptInto(me.bags[me.cur])
+		}
 	}
 	me.opCount++
 	if me.opCount%q.e.cfg.EpochCheckOps == 0 {
-		if q.th[me.scanIdx].announced.v.Load() == ge {
+		// Vacated slots are skipped: a departed participant is permanently
+		// quiescent and must not stall the epoch.
+		if !q.e.reg.isLive(me.scanIdx) || q.th[me.scanIdx].announced.v.Load() == ge {
 			me.scanIdx++
 			if me.scanIdx >= q.e.cfg.Threads {
 				me.scanIdx = 0
@@ -90,9 +97,41 @@ func (q *QSBR) Retire(tid int, o *simalloc.Object) {
 	q.e.noteRetire(tid)
 }
 
-// Drain frees all bags and the freeable list unconditionally.
+// Join occupies a vacated slot and primes its announcement at the current
+// epoch, so the joiner counts toward — without stalling — the next advance.
+func (q *QSBR) Join() (int, error) {
+	slot, err := q.e.reg.join()
+	if err != nil {
+		return -1, err
+	}
+	me := &q.th[slot]
+	ge := q.e.epochs.Load()
+	me.cur = int(ge % 3)
+	me.scanIdx = 0
+	me.opCount = 0
+	me.announced.v.Store(ge)
+	return slot, nil
+}
+
+// Leave hands the slot's limbo bags and any queued freeable objects to the
+// orphan queue and vacates the slot.
+func (q *QSBR) Leave(tid int) {
+	me := &q.th[tid]
+	for i := range me.bags {
+		q.e.reg.orphan(me.bags[i])
+		me.bags[i] = nil
+	}
+	q.f.orphanAll(q.e.reg, tid)
+	q.e.reg.leave(tid)
+}
+
+// Drain frees all bags, pending orphans, and the freeable list
+// unconditionally.
 func (q *QSBR) Drain(tid int) {
 	me := &q.th[tid]
+	if q.e.reg.hasOrphans() {
+		me.bags[me.cur] = q.e.reg.adoptInto(me.bags[me.cur])
+	}
 	for i := range me.bags {
 		if len(me.bags[i]) > 0 {
 			q.f.freeBatch(tid, me.bags[i])

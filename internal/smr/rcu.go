@@ -90,6 +90,13 @@ func (r *RCU) Retire(tid int, o *simalloc.Object) {
 	if len(me.bag) < r.e.cfg.BatchSize {
 		return
 	}
+	// Adoption point: orphans join the bag before the grace-period wait.
+	// They were unlinked before their owner departed, so any reader that
+	// could still reference them is inside a critical section synchronize
+	// is about to wait out.
+	if r.e.reg.hasOrphans() {
+		me.bag = r.e.reg.adoptInto(me.bag)
+	}
 	r.synchronize(tid)
 	r.f.freeBatch(tid, me.bag)
 	me.bag = me.bag[:0]
@@ -131,9 +138,29 @@ func (r *RCU) synchronize(tid int) {
 	r.e.sampleGarbage(tid)
 }
 
-// Drain frees the bag and the freeable list unconditionally.
+// Join occupies a vacated slot. A vacated slot's counter is even (its old
+// occupant left outside any critical section), which is exactly the
+// quiescent state a fresh reader needs, so nothing is re-primed.
+func (r *RCU) Join() (int, error) { return r.e.reg.join() }
+
+// Leave hands the slot's limbo bag and any queued freeable objects to the
+// orphan queue and vacates the slot. The counter stays even, so in-flight
+// grace-period waits already treat the slot as quiescent.
+func (r *RCU) Leave(tid int) {
+	me := &r.th[tid]
+	r.e.reg.orphan(me.bag)
+	me.bag = nil
+	r.f.orphanAll(r.e.reg, tid)
+	r.e.reg.leave(tid)
+}
+
+// Drain frees the bag, pending orphans, and the freeable list
+// unconditionally.
 func (r *RCU) Drain(tid int) {
 	me := &r.th[tid]
+	if r.e.reg.hasOrphans() {
+		me.bag = r.e.reg.adoptInto(me.bag)
+	}
 	if len(me.bag) > 0 {
 		r.f.freeBatch(tid, me.bag)
 		me.bag = me.bag[:0]

@@ -33,11 +33,17 @@ var factories = map[string]func(Config) Reclaimer{
 	"token_af": func(c Config) Reclaimer { return NewToken(c, TokenAF) },
 }
 
-// New constructs a reclaimer by registry name.
+// New constructs a reclaimer by registry name. Configuration problems are
+// reported as errors (not panics), so harness layers — bench.RunTrial in
+// particular — surface a bad smr.Config the same way they surface a bad
+// workload config.
 func New(name string, cfg Config) (Reclaimer, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("smr: unknown reclaimer %q", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return f(cfg), nil
 }

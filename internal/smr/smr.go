@@ -15,6 +15,7 @@
 package smr
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -54,8 +55,21 @@ type Reclaimer interface {
 	// Retire hands an unlinked object to the reclaimer; it will be freed
 	// to the allocator once no thread can hold a reference.
 	Retire(tid int, o *simalloc.Object)
+	// Join occupies a vacated participant slot (most recently vacated
+	// first) and returns it as the caller's tid. It fails when every slot
+	// is occupied. Slots the constructor created all start occupied, so
+	// Join only succeeds after a Leave — fixed-population trials never
+	// call either.
+	Join() (int, error)
+	// Leave retires tid's participation: its announcements are cleared so
+	// no grace period waits on the slot, its pending limbo is handed to
+	// the shared orphan queue for surviving participants to adopt, and
+	// the slot becomes recyclable by a later Join. The caller must stop
+	// using tid until a Join hands the slot out again.
+	Leave(tid int)
 	// Drain frees everything still pending for tid without waiting for
-	// grace periods. Only call after all threads stopped operating.
+	// grace periods — including any orphaned limbo still awaiting
+	// adoption. Only call after all threads stopped operating.
 	Drain(tid int)
 	// Stats returns an aggregated snapshot.
 	Stats() Stats
@@ -69,8 +83,13 @@ type Stats struct {
 	// Retired and Freed count objects through the limbo lifecycle.
 	Retired, Freed int64
 	// Limbo is the number of objects currently retired but not freed
-	// (including objects queued by an amortized freer).
+	// (including objects queued by an amortized freer and orphans awaiting
+	// adoption).
 	Limbo int64
+	// Joins and Leaves count participant lifecycle events; Adopted counts
+	// orphaned limbo objects re-homed by surviving participants. All three
+	// stay zero in fixed-population trials.
+	Joins, Leaves, Adopted int64
 }
 
 // Config carries construction parameters shared by all reclaimers.
@@ -120,12 +139,24 @@ func DefaultConfig(alloc simalloc.Allocator, threads int) Config {
 	}
 }
 
-func (c *Config) fillDefaults() {
+// Validate reports the configuration errors construction would otherwise
+// panic on. New runs it before invoking a factory, so bad configurations
+// surface as ordinary errors through the harness (bench.RunTrial) instead
+// of panics; the panics in fillDefaults remain only as a backstop for
+// direct constructor misuse.
+func (c *Config) Validate() error {
 	if c.Alloc == nil {
-		panic("smr: Config.Alloc is required")
+		return fmt.Errorf("smr: Config.Alloc is required")
 	}
 	if c.Threads <= 0 {
-		panic("smr: Config.Threads must be positive")
+		return fmt.Errorf("smr: Config.Threads must be positive (got %d)", c.Threads)
+	}
+	return nil
+}
+
+func (c *Config) fillDefaults() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 2048
@@ -157,12 +188,14 @@ type threadCtr struct {
 }
 
 // env is the shared plumbing embedded by every reclaimer: allocator, freeing
-// policy hooks, per-thread counters, epoch counter and timeline recorder.
+// policy hooks, per-thread counters, participant registry, epoch counter and
+// timeline recorder.
 type env struct {
 	cfg    Config
 	alloc  simalloc.Allocator
 	rec    *timeline.Recorder
 	ctr    []threadCtr
+	reg    *participants
 	epochs atomic.Int64
 
 	// glogMu serializes garbage-log samples (rare: once per epoch change).
@@ -176,6 +209,7 @@ func newEnv(cfg Config) env {
 		alloc: cfg.Alloc,
 		rec:   cfg.Recorder,
 		ctr:   make([]threadCtr, cfg.Threads),
+		reg:   newParticipants(cfg.Threads),
 	}
 }
 
@@ -221,6 +255,9 @@ func (e *env) stats() Stats {
 		s.Limbo += atomic.LoadInt64(&e.ctr[i].limbo)
 	}
 	s.Epochs = e.epochs.Load()
+	s.Joins = e.reg.joins.Load()
+	s.Leaves = e.reg.leaves.Load()
+	s.Adopted = e.reg.adopted.Load()
 	return s
 }
 

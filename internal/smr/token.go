@@ -77,8 +77,39 @@ func NewToken(cfg Config, variant TokenVariant) *Token {
 
 func (t *Token) Name() string { return t.variant.String() }
 
-func (t *Token) pass(tid int) {
-	t.holder.v.Store(int64((tid + 1) % t.e.cfg.Threads))
+// nextLive returns the next occupied slot after from in ring order, or
+// from itself when no other slot is occupied. With a full population this
+// is exactly (from+1) % Threads.
+func (t *Token) nextLive(from int) int {
+	n := t.e.cfg.Threads
+	for i := 1; i < n; i++ {
+		if s := (from + i) % n; t.e.reg.isLive(s) {
+			return s
+		}
+	}
+	return from
+}
+
+// pass hands the token to the next live slot in ring order. The CAS closes
+// the race with a concurrent Leave of the target: Leave clears its live
+// flag before checking whether it holds the token, and pass re-checks the
+// target's live flag after the handoff — whichever of the two observes the
+// other's store re-passes on the dead slot's behalf, so the token can
+// never strand on a vacated slot while the ring has live members.
+func (t *Token) pass(from int) {
+	for {
+		next := t.nextLive(from)
+		if next == from {
+			return // no other live participant; the token stays put
+		}
+		if !t.holder.v.CompareAndSwap(int64(from), int64(next)) {
+			return // a concurrent Leave already re-homed the token
+		}
+		if t.e.reg.isLive(next) {
+			return
+		}
+		from = next // next vacated mid-handoff and missed it; re-pass for it
+	}
 }
 
 // BeginOp checks for the token; on receipt the thread enters a new epoch,
@@ -91,8 +122,17 @@ func (t *Token) BeginOp(tid int) {
 	me.receipts++
 	if tid == 0 {
 		// One full ring rotation per visit to thread 0: a global epoch.
+		// (Epoch samples pause while slot 0 is vacated; grace periods do
+		// not depend on this counter.)
 		t.e.epochs.Add(1)
 		t.e.sampleGarbage(tid)
+	}
+	// Adoption point: orphans enter the current bag at token receipt, so
+	// they are freed only after this bag survives a bag swap plus a full
+	// ring round — every live participant passes an operation boundary
+	// in between.
+	if t.e.reg.hasOrphans() {
+		me.cur = t.e.reg.adoptInto(me.cur)
 	}
 
 	switch t.variant {
@@ -192,9 +232,52 @@ func (t *Token) Retire(tid int, o *simalloc.Object) {
 // Receipts reports how many times tid has received the token.
 func (t *Token) Receipts(tid int) int64 { return t.th[tid].receipts }
 
-// Drain frees both bags and the freeable list unconditionally.
+// Join occupies a vacated slot. If the token is stranded on a vacated slot
+// — every participant left while one of them held it — the joiner claims
+// it, restarting the ring; a token held by a live participant circulates
+// on untouched.
+func (t *Token) Join() (int, error) {
+	slot, err := t.e.reg.join()
+	if err != nil {
+		return -1, err
+	}
+	for {
+		h := t.holder.v.Load()
+		if h == int64(slot) || t.e.reg.isLive(int(h)) {
+			break
+		}
+		if t.holder.v.CompareAndSwap(h, int64(slot)) {
+			break
+		}
+	}
+	return slot, nil
+}
+
+// Leave hands both bags and any queued freeable objects to the orphan
+// queue, vacates the slot, and — if the slot holds the token — passes it
+// to the next live participant so the ring keeps turning.
+func (t *Token) Leave(tid int) {
+	me := &t.th[tid]
+	t.e.reg.orphan(me.cur)
+	me.cur = nil
+	t.e.reg.orphan(me.prev)
+	me.prev = nil
+	t.f.orphanAll(t.e.reg, tid)
+	t.e.reg.leave(tid)
+	// After the live flag is down: if the token is (or just arrived) here,
+	// move it along. See pass for why this closes the handoff race.
+	if t.holder.v.Load() == int64(tid) {
+		t.pass(tid)
+	}
+}
+
+// Drain frees both bags, pending orphans, and the freeable list
+// unconditionally.
 func (t *Token) Drain(tid int) {
 	me := &t.th[tid]
+	if t.e.reg.hasOrphans() {
+		me.cur = t.e.reg.adoptInto(me.cur)
+	}
 	if len(me.prev) > 0 {
 		t.freeBatchNow(tid, me.prev)
 		me.prev = me.prev[:0]

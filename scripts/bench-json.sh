@@ -50,9 +50,13 @@ END {
 ' > "$tmpdir/benchmarks.json"
 
 # Grid smoke: a scenario × reclaimer sweep through the experiment grid
-# engine, emitted as JSON (summaries carry the seeds they aggregate).
+# engine, emitted as JSON (summaries carry the seeds they aggregate, and
+# each summary's "phases" field records the resolved phase schedule its
+# trials ran — empty for fixed-population trials — so the artifact is
+# self-describing about thread churn). The churn scenario rides along to
+# keep a phased workload in the benchmarked trajectory.
 go run ./cmd/epochgrid \
-  -scenarios paper,zipf -reclaimers debra,debra_af,token_af -threads 4 \
+  -scenarios paper,zipf,churn -reclaimers debra,debra_af,token_af -threads 4 \
   -dur "$grid_dur" -keyrange 4096 -trials 2 \
   -format json -out "$tmpdir/grid.json"
 
