@@ -234,25 +234,37 @@ func phasesOf(s bench.Summary) string {
 	return bench.FormatPhases(ph)
 }
 
+// droppedOf sums recordable timeline events lost to full recorder buffers
+// across a summary's trials. Non-zero only for recorded configurations whose
+// timelines were truncated; surfaced in every format so clipped recordings
+// cannot pass for complete ones.
+func droppedOf(s bench.Summary) int64 {
+	var n int64
+	for _, tr := range s.Trials {
+		n += tr.Dropped
+	}
+	return n
+}
+
 // emit renders the per-config summaries. Every format carries the seeds a
 // summary aggregates, so stored numbers trace back to their RNG streams.
 func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int) error {
 	switch format {
 	case "table":
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "scenario\tphases\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB")
+		fmt.Fprintln(tw, "scenario\tphases\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tdropped")
 		for _, s := range sums {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\n",
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%d\n",
 				s.Cfg.Scenario, phasesOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
-				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB)
+				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, droppedOf(s))
 		}
 		return tw.Flush()
 	case "csv":
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{
 			"scenario", "phases", "ds", "allocator", "reclaimer", "threads", "batch",
-			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
+			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib", "dropped",
 		}); err != nil {
 			return err
 		}
@@ -263,6 +275,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 				seedList(s), strconv.Itoa(len(s.Trials)),
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
 				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
+				strconv.FormatInt(droppedOf(s), 10),
 			}); err != nil {
 				return err
 			}
@@ -284,6 +297,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			MinOps        float64  `json:"min_ops"`
 			MaxOps        float64  `json:"max_ops"`
 			MeanPeakMiB   float64  `json:"mean_peak_mib"`
+			Dropped       int64    `json:"dropped,omitempty"`
 		}
 		doc := struct {
 			Executed  int           `json:"executed"`
@@ -298,7 +312,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
 				Trials:  len(s.Trials),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
-				MeanPeakMiB: s.MeanPeakMiB,
+				MeanPeakMiB: s.MeanPeakMiB, Dropped: droppedOf(s),
 			}
 			for _, tr := range s.Trials {
 				js.Seeds = append(js.Seeds, tr.Seed)

@@ -53,7 +53,7 @@ func runFig17(o Options) (string, error) {
 				}
 			}
 		}
-		fmt.Fprintf(&sb, "%s — %d visible free calls:\n%s\n", rc.label, visible,
+		fmt.Fprintf(&sb, "%s — %d visible free calls%s:\n%s\n", rc.label, visible, fmtDropped(tr),
 			timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
 				Width: 100, MaxRows: 20,
 				Kinds: []timeline.EventKind{timeline.KindFreeCall},

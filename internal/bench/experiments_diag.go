@@ -89,7 +89,8 @@ func runFig2(o Options) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&sb, "Fig. 2 — DEBRA batch frees, %d threads (ops/s %s):\n", n, fmtOps(tr.OpsPerSec))
+		fmt.Fprintf(&sb, "Fig. 2 — DEBRA batch frees, %d threads (ops/s %s%s):\n",
+			n, fmtOps(tr.OpsPerSec), fmtDropped(tr))
 		sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
 			Width: 100, MaxRows: 20, Kinds: []timeline.EventKind{timeline.KindBatchFree},
 		}))
@@ -136,8 +137,8 @@ func runFig3(o Options) (string, error) {
 				}
 			}
 		}
-		fmt.Fprintf(&sb, "%s — %d free calls >= %v (ops/s %s):\n",
-			rc.label, long, tr.Recorder.FreeCallThreshold, fmtOps(tr.OpsPerSec))
+		fmt.Fprintf(&sb, "%s — %d free calls >= %v (ops/s %s%s):\n",
+			rc.label, long, tr.Recorder.FreeCallThreshold, fmtOps(tr.OpsPerSec), fmtDropped(tr))
 		sb.WriteString(timeline.RenderASCII(tr.Recorder, timeline.RenderOptions{
 			Width: 100, MaxRows: 20, Kinds: []timeline.EventKind{timeline.KindFreeCall},
 		}))

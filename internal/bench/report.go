@@ -230,3 +230,13 @@ func ratio(a, b float64) string {
 	}
 	return fmt.Sprintf("%.2fx", a/b)
 }
+
+// fmtDropped renders a recorded trial's truncation notice for experiment
+// headers: empty when the timeline is complete, ", dropped N" when recordable
+// events were lost to full recorder buffers.
+func fmtDropped(tr TrialResult) string {
+	if tr.Dropped == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", dropped %d", tr.Dropped)
+}

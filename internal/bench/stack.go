@@ -69,6 +69,10 @@ func NewStack(cfg WorkloadConfig) (*Stack, error) {
 			capEach = 100000
 		}
 		s.Recorder = timeline.NewRecorder(cfg.Threads, capEach)
+		// Long free calls are recorded from the allocator's own slow-path
+		// stamps: zero extra clock reads on the free path. (On a pooled
+		// allocator the hook passes through to the base model.)
+		alloc.SetFreeObserver(s.Recorder.ObserveFree)
 	}
 
 	rcfg := smr.DefaultConfig(alloc, cfg.Threads)
@@ -118,7 +122,15 @@ func (s *Stack) Join() (int, error) { return s.Reclaimer.Join() }
 // caller must stop using tid until a Join hands the slot out again.
 func (s *Stack) Leave(tid int) {
 	s.Reclaimer.Leave(tid)
+	// The vacated slot's staged timeline entries merge now — its ring must
+	// be empty before a later Join hands the slot to another goroutine. The
+	// cache flush is muted: departure teardown frees never produced timeline
+	// events (a pooled allocator would otherwise feed the observer while
+	// returning pooled objects through base.Free).
+	s.Recorder.Merge(tid)
+	s.Recorder.MuteFrees(tid)
 	s.Alloc.FlushThreadCache(tid)
+	s.Recorder.UnmuteFrees(tid)
 }
 
 // Stop ends the measured window: blocking grace-period waits inside the
@@ -151,13 +163,13 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 
 	// Host-overhead self-report (see TrialResult). The allocator counts its
 	// own stamps exactly (Stats.ClockReads — all on slow paths; tcache-hit
-	// allocs and frees take none since the PR 4 dispatch surgery). Recorded
-	// frees cost ~one chained stamp each (none once a buffer fills); Mark
-	// events use the coarse clock and cost no reads.
-	res.HostClockReads = res.Alloc.ClockReads
-	if s.Recorder != nil {
-		res.HostClockReads += res.SMR.Freed
-	}
+	// allocs and frees take none since the PR 4 dispatch surgery), and the
+	// recorder counts the stamps recording adds on top — two per batch-free
+	// envelope; observed free calls and coarse-clock marks take none — so
+	// the sum is exact, not an estimate.
+	s.Recorder.MergeAll()
+	res.Dropped = s.Recorder.Dropped()
+	res.HostClockReads = res.Alloc.ClockReads + s.Recorder.ClockReads()
 	res.HostOverheadNanos = int64(float64(res.HostClockReads) * clock.ReadCostNs())
 	res.PctHostOverhead = simalloc.PctOf(res.HostOverheadNanos, wall, s.cfg.Threads)
 	return res
@@ -175,6 +187,10 @@ func (s *Stack) Close() {
 	for tid := 0; tid < s.cfg.Threads; tid++ {
 		s.Reclaimer.Drain(tid)
 	}
+	// Drain-time batch frees staged above (synchronous reclaimers record
+	// their final bags, as they always did) reach the committed buffers
+	// before any reader sees the recorder.
+	s.Recorder.MergeAll()
 }
 
 // StackBuilder assembles a Stack fluently, starting from the scaled paper

@@ -181,15 +181,22 @@ type TrialResult struct {
 	// Host-overhead self-report: how much wall time the harness spent on
 	// measurement itself rather than modeled work. HostClockReads is the
 	// allocator's exact stamp count (simalloc.Stats.ClockReads — slow paths
-	// only; cache-hit allocs and frees are unstamped) plus ~one chained
-	// stamp per recorded free call; HostOverheadNanos multiplies it by the
-	// calibrated cost of one clock read, and PctHostOverhead expresses that
-	// as a share of available thread-time, comparable with PctFree/PctFlush/
-	// PctLock. Use it to judge how much the measurement tax dilutes the
-	// modeled numbers.
+	// only; cache-hit allocs and frees are unstamped) plus the recorder's
+	// exact count of the stamps recording added (two per batch-free
+	// envelope; observed free calls and coarse-clock marks add none);
+	// HostOverheadNanos multiplies it by the calibrated cost of one clock
+	// read, and PctHostOverhead expresses that as a share of available
+	// thread-time, comparable with PctFree/PctFlush/PctLock. Use it to
+	// judge how much the measurement tax dilutes the modeled numbers.
 	HostClockReads    int64
 	HostOverheadNanos int64
 	PctHostOverhead   float64
+	// Dropped counts recordable timeline events lost to full per-thread
+	// recorder buffers — truncation, visible here and in the CSV/ASCII
+	// headers so silently clipped timelines cannot masquerade as complete.
+	// Sub-threshold free calls are filtered by design and never counted.
+	// Always zero when recording was off.
+	Dropped int64 `json:",omitempty"`
 	// Wall is the actual measured-window duration.
 	Wall time.Duration
 	// Recorder holds timeline events when recording was enabled. It is
@@ -295,11 +302,13 @@ func prefill(cfg *WorkloadConfig, set ds.Set) {
 // runWorker is one simulated thread's measured loop: draw a batch of keys
 // and op kinds, execute it, repeat until the stop flag (wall-clock trials)
 // or the fixed op budget (FixedOps trials) ends the window. The per-op path
-// contains only the set call itself; stream draws, the stop check, and the
-// yield policy all live on batch boundaries — except under the legacy
-// per-op yield (YieldEvery > 0), which is preserved verbatim for A/B runs.
+// contains only the set call itself; stream draws, the stop check, the
+// yield policy, and the timeline staging-ring merge all live on batch
+// boundaries — except under the legacy per-op yield (YieldEvery > 0), which
+// is preserved verbatim for A/B runs.
 func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) int64 {
 	set := st.Set
+	rec := st.Recorder // nil-safe: Merge on a nil recorder is a no-op
 	var s opStream
 	local := int64(0)
 	fixed := int64(cfg.FixedOps)
@@ -338,6 +347,7 @@ func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) in
 					runtime.Gosched()
 				}
 			}
+			rec.Merge(tid)
 			continue
 		}
 		for i := 0; i < n; i++ {
@@ -352,6 +362,7 @@ func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) in
 			}
 		}
 		local += int64(n)
+		rec.Merge(tid)
 		if stride > 0 {
 			if sinceYield += int64(n); sinceYield >= stride {
 				sinceYield = 0
@@ -359,6 +370,11 @@ func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) in
 			}
 		}
 	}
+	// The final (possibly partial) batch's entries are merged above; a
+	// leftover can only exist if the loop exited before reaching a boundary,
+	// which it cannot — but phase workers park after this return, so leave
+	// the ring verifiably empty either way.
+	rec.Merge(tid)
 	return local
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/simalloc"
 	"repro/internal/smr"
+	"repro/internal/timeline"
 )
 
 // Steady-state zero-allocation pins. The guard dispatch path exists so the
@@ -46,26 +47,63 @@ func TestSteadyStateReadPathZeroAllocs(t *testing.T) {
 		for _, recName := range zeroAllocFamilies() {
 			t.Run(dsName+"/"+recName, func(t *testing.T) {
 				set, _ := buildSet(t, dsName, recName)
-				// Prefill to a realistic depth so traversals visit several
-				// levels (and therefore publish several protections).
-				for k := int64(0); k < keyRange; k += 2 {
-					set.Insert(0, k)
-				}
-				// Warm up: let lazily-grown scratch (hazard scan maps, flush
-				// groups) reach steady state before counting.
-				key := int64(1)
-				for i := 0; i < 512; i++ {
-					set.Contains(0, key)
-					key = (key*31 + 17) % keyRange
-				}
-				avg := testing.AllocsPerRun(200, func() {
-					set.Contains(0, key)
-					key = (key*31 + 17) % keyRange
-				})
-				if avg != 0 {
-					t.Fatalf("steady-state read path allocates %.2f objects/op", avg)
-				}
+				assertReadPathZeroAllocs(t, set, keyRange)
 			})
 		}
+	}
+}
+
+// TestRecordedReadPathZeroAllocs is the recording-pipeline rider on the pin
+// above: with a timeline recorder wired through the reclaimer and the
+// allocator's free observer installed, the read path must still allocate
+// exactly nothing. The staged pipeline writes into fixed rings and the
+// committed buffers only grow inside Merge, which a pure read cycle never
+// feeds, so recording on is indistinguishable from recording off here.
+func TestRecordedReadPathZeroAllocs(t *testing.T) {
+	const keyRange = 1 << 10
+	for _, dsName := range Names() {
+		for _, recName := range zeroAllocFamilies() {
+			t.Run(dsName+"/"+recName, func(t *testing.T) {
+				acfg := simalloc.DefaultConfig(1)
+				acfg.Cost = simalloc.Uniform()
+				alloc := simalloc.NewJEMalloc(acfg)
+				tl := timeline.NewRecorder(1, 4096)
+				alloc.SetFreeObserver(tl.ObserveFree)
+				scfg := smr.DefaultConfig(alloc, 1)
+				scfg.Recorder = tl
+				rec, err := smr.New(recName, scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set, err := New(dsName, alloc, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertReadPathZeroAllocs(t, set, keyRange)
+			})
+		}
+	}
+}
+
+func assertReadPathZeroAllocs(t *testing.T, set Set, keyRange int64) {
+	t.Helper()
+	// Prefill to a realistic depth so traversals visit several
+	// levels (and therefore publish several protections).
+	for k := int64(0); k < keyRange; k += 2 {
+		set.Insert(0, k)
+	}
+	// Warm up: let lazily-grown scratch (hazard scan maps, flush
+	// groups) reach steady state before counting.
+	key := int64(1)
+	for i := 0; i < 512; i++ {
+		set.Contains(0, key)
+		key = (key*31 + 17) % keyRange
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		set.Contains(0, key)
+		key = (key*31 + 17) % keyRange
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state read path allocates %.2f objects/op", avg)
 	}
 }

@@ -2,6 +2,15 @@ package simalloc
 
 import "fmt"
 
+// FreeObserver receives the stamps an allocator already took around a Free
+// call's slow path (tcache flush, central spill, remote push) for its own
+// statistics. Fast-path frees — the ones with no modeled cost and no stamps
+// — are never reported: a free call can only reach a latency threshold by
+// hitting a stamped slow path, so observing the existing stamps records
+// every long free call with zero additional clock reads. startNs and endNs
+// are clock.Now values bracketing the slow path.
+type FreeObserver func(tid int, startNs, endNs int64)
+
 // Allocator is the interface shared by the three allocator models. A tid is
 // the caller's simulated thread ID in [0, Threads); every tid must be used
 // by at most one goroutine at a time, mirroring thread-local caches.
@@ -26,6 +35,11 @@ type Allocator interface {
 	// without charging modeled cost, as if all threads exited. Used
 	// between benchmark trials.
 	FlushThreadCaches()
+	// SetFreeObserver installs fn to observe every Free call that takes a
+	// clock-stamped slow path, passing the stamps the allocator already
+	// took; nil removes the observer. Install before the workload starts:
+	// the hook is read without synchronization on the free path.
+	SetFreeObserver(fn FreeObserver)
 	// Stats returns an aggregated snapshot of allocator activity.
 	Stats() Stats
 	// LiveBytes returns bytes currently in the allocated state.

@@ -33,6 +33,11 @@ type JEMalloc struct {
 	// reservation (arena, hold ns) before it is booked. Test instrumentation
 	// for pinning the modeled-cost formula; nil in production.
 	flushHoldProbe func(arena int32, holdNs int64)
+
+	// freeObs, when non-nil, receives the Free slow path's existing stamps
+	// (see FreeObserver); the timeline recorder's free-call events ride on
+	// it for free.
+	freeObs FreeObserver
 }
 
 type jeArena struct {
@@ -193,10 +198,17 @@ func (a *JEMalloc) Free(tid int, o *Object) {
 	if tc.list.len() > a.cfg.TCacheCap {
 		t0 := clock.Now()
 		a.flush(tid, o.Class, tc)
-		ts.freeNanos += clock.Now() - t0
+		end := clock.Now()
+		ts.freeNanos += end - t0
 		ts.clockReads += 2
+		if a.freeObs != nil {
+			a.freeObs(tid, t0, end)
+		}
 	}
 }
+
+// SetFreeObserver installs fn on the Free slow path (the tcache flush).
+func (a *JEMalloc) SetFreeObserver(fn FreeObserver) { a.freeObs = fn }
 
 // flush returns FlushFraction of the tcache bin to the owning arena bins.
 // The locking discipline matches the paper's description of jemalloc: lock

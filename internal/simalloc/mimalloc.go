@@ -32,6 +32,10 @@ type MIMalloc struct {
 	stats  *statsArena
 	heaps  []miHeap
 	nextID atomic.Uint64
+
+	// freeObs, when non-nil, receives the Free slow path's existing stamps
+	// (see FreeObserver).
+	freeObs FreeObserver
 }
 
 type miHeap struct {
@@ -165,9 +169,16 @@ func (a *MIMalloc) Free(tid int, o *Object) {
 			break
 		}
 	}
-	ts.freeNanos += clock.Now() - t0
+	end := clock.Now()
+	ts.freeNanos += end - t0
 	ts.clockReads += 2
+	if a.freeObs != nil {
+		a.freeObs(tid, t0, end)
+	}
 }
+
+// SetFreeObserver installs fn on the Free slow path (the remote push).
+func (a *MIMalloc) SetFreeObserver(fn FreeObserver) { a.freeObs = fn }
 
 // FlushThreadCache is a no-op: mimalloc has no thread cache separate from
 // its pages. A departing thread's pages stay attached to the slot — the

@@ -19,6 +19,10 @@ type TCMalloc struct {
 	central [NumSizeClasses]tcCentral
 	caches  []tcThreadCache
 	nextID  atomic.Uint64
+
+	// freeObs, when non-nil, receives the Free slow path's existing stamps
+	// (see FreeObserver).
+	freeObs FreeObserver
 }
 
 type tcCentral struct {
@@ -141,10 +145,17 @@ func (a *TCMalloc) Free(tid int, o *Object) {
 	if tc.len() > a.cfg.TCacheCap {
 		t0 := clock.Now()
 		a.spill(tid, o.Class, tc)
-		ts.freeNanos += clock.Now() - t0
+		end := clock.Now()
+		ts.freeNanos += end - t0
 		ts.clockReads += 2
+		if a.freeObs != nil {
+			a.freeObs(tid, t0, end)
+		}
 	}
 }
+
+// SetFreeObserver installs fn on the Free slow path (the central spill).
+func (a *TCMalloc) SetFreeObserver(fn FreeObserver) { a.freeObs = fn }
 
 // spill moves FlushFraction of the cache to the central list while holding
 // the central lock for the entire batch, mirroring tcmalloc's

@@ -3,7 +3,6 @@ package smr
 import (
 	"repro/internal/clock"
 	"repro/internal/simalloc"
-	"repro/internal/timeline"
 )
 
 // A freer is the policy for releasing a batch of limbo objects that a
@@ -54,16 +53,17 @@ func (b *batchFreer) freeBatch(tid int, batch []*simalloc.Object) {
 		e.noteFree(tid, int64(len(batch)))
 		return
 	}
-	// Chained stamps: each free call's end stamp is the next call's start,
-	// so the recorded path costs one clock read per object, not two.
+	// Recorded path: the free loop is identical to the unrecorded one. Long
+	// free calls reach the staging ring through the allocator's own slow-path
+	// stamps (the free observer), so the only extra clock reads are the two
+	// batch-envelope stamps, counted by StageBatchFree.
 	t0 := clock.Now()
-	c := t0
 	for _, o := range batch {
 		e.alloc.Free(tid, o)
-		c = e.rec.RecordFreeCall(tid, c, 1)
 	}
+	end := clock.Now()
 	e.noteFree(tid, int64(len(batch)))
-	e.rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
+	e.rec.StageBatchFree(tid, t0, end, int64(len(batch)))
 }
 
 func (b *batchFreer) pump(int)                     {}
@@ -131,39 +131,20 @@ func (a *amortizedFreer) freeBatch(tid int, batch []*simalloc.Object) {
 	a.queues[tid].push(batch)
 }
 
+// pump frees up to DrainRate queued objects. Recorded and unrecorded trials
+// run the same loop with zero clock stamps: an amortized free has no batch
+// envelope, and any individual call long enough to matter hits an allocator
+// slow path whose existing stamps feed the recorder via the free observer.
 func (a *amortizedFreer) pump(tid int) {
 	e := a.e
 	q := &a.queues[tid]
-	if e.rec == nil {
-		// Unrecorded fast path: no stamps at all.
-		n := int64(0)
-		for i := 0; i < a.rate; i++ {
-			o := q.pop()
-			if o == nil {
-				break
-			}
-			e.alloc.Free(tid, o)
-			n++
-		}
-		if n > 0 {
-			e.noteFree(tid, n)
-		}
-		return
-	}
-	// Stamp lazily: a pump that finds the queue empty — the common case in
-	// read-heavy steady states — must cost no clock reads at all.
-	c := int64(-1)
 	n := int64(0)
 	for i := 0; i < a.rate; i++ {
 		o := q.pop()
 		if o == nil {
 			break
 		}
-		if c < 0 {
-			c = clock.Now()
-		}
 		e.alloc.Free(tid, o)
-		c = e.rec.RecordFreeCall(tid, c, 1)
 		n++
 	}
 	if n > 0 {
@@ -174,6 +155,9 @@ func (a *amortizedFreer) pump(tid int) {
 func (a *amortizedFreer) drainAll(tid int) {
 	e := a.e
 	q := &a.queues[tid]
+	// Teardown frees never produced timeline events (the legacy recorder had
+	// no hook here); mute the free observer so that stays true.
+	e.rec.MuteFrees(tid)
 	n := int64(0)
 	for {
 		o := q.pop()
@@ -186,6 +170,7 @@ func (a *amortizedFreer) drainAll(tid int) {
 	if n > 0 {
 		e.noteFree(tid, n)
 	}
+	e.rec.UnmuteFrees(tid)
 }
 
 func (a *amortizedFreer) orphanAll(reg *participants, tid int) {

@@ -112,6 +112,11 @@ func (p *PoolAllocator) FlushThreadCaches() {
 	p.base.FlushThreadCaches()
 }
 
+// SetFreeObserver installs fn on the base allocator: a pool-absorbed free
+// has no slow path to observe, and a pool overflow's base.Free stamps are
+// exactly what the observer wants.
+func (p *PoolAllocator) SetFreeObserver(fn simalloc.FreeObserver) { p.base.SetFreeObserver(fn) }
+
 // Stats returns the base allocator's snapshot; pool hits by design never
 // reach it. PoolHits reports the bypassed traffic.
 func (p *PoolAllocator) Stats() simalloc.Stats { return p.base.Stats() }

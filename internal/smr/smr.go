@@ -239,12 +239,14 @@ func (e *env) totalLimbo() int64 {
 }
 
 // sampleGarbage records a garbage sample and an epoch-advance dot for tid.
+// Both are staged marks: a coarse-clock stamp into the thread's staging
+// ring, no host clock reads, clamping deferred to the batch-edge merge.
 func (e *env) sampleGarbage(tid int) {
 	if e.rec == nil {
 		return
 	}
-	e.rec.Mark(tid, timeline.KindEpochAdvance, e.epochs.Load())
-	e.rec.Mark(tid, timeline.KindGarbageSample, e.totalLimbo())
+	e.rec.StageMark(tid, timeline.KindEpochAdvance, e.epochs.Load())
+	e.rec.StageMark(tid, timeline.KindGarbageSample, e.totalLimbo())
 }
 
 func (e *env) stats() Stats {

@@ -3,7 +3,6 @@ package smr
 import (
 	"repro/internal/clock"
 	"repro/internal/simalloc"
-	"repro/internal/timeline"
 )
 
 // TokenVariant selects one of Section 4's Token-EBR implementations.
@@ -158,6 +157,9 @@ func (t *Token) BeginOp(tid int) {
 }
 
 // freeBatchNow synchronously frees a whole bag, recording timeline events.
+// Like batchFreer.freeBatch, the recorded loop is identical to the
+// unrecorded one: long free calls ride the allocator's slow-path stamps via
+// the free observer, and only the batch envelope is stamped here.
 func (t *Token) freeBatchNow(tid int, batch []*simalloc.Object) {
 	if len(batch) == 0 {
 		return
@@ -170,13 +172,12 @@ func (t *Token) freeBatchNow(tid int, batch []*simalloc.Object) {
 		return
 	}
 	t0 := clock.Now()
-	c := t0
 	for _, o := range batch {
 		t.e.alloc.Free(tid, o)
-		c = t.e.rec.RecordFreeCall(tid, c, 1)
 	}
+	end := clock.Now()
 	t.e.noteFree(tid, int64(len(batch)))
-	t.e.rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
+	t.e.rec.StageBatchFree(tid, t0, end, int64(len(batch)))
 }
 
 // freeWithTokenChecks frees a bag one object at a time, checking every
@@ -189,23 +190,19 @@ func (t *Token) freeWithTokenChecks(tid int, batch []*simalloc.Object) {
 	}
 	k := t.e.cfg.TokenCheckK
 	rec := t.e.rec
-	var t0, c int64
+	var t0 int64
 	if rec != nil {
 		t0 = clock.Now()
-		c = t0
 	}
 	for i, o := range batch {
 		t.e.alloc.Free(tid, o)
-		if rec != nil {
-			c = rec.RecordFreeCall(tid, c, 1)
-		}
 		if (i+1)%k == 0 && t.holder.v.Load() == int64(tid) {
 			t.pass(tid)
 		}
 	}
 	t.e.noteFree(tid, int64(len(batch)))
 	if rec != nil {
-		rec.Record(tid, timeline.KindBatchFree, t0, clock.Now(), int64(len(batch)))
+		rec.StageBatchFree(tid, t0, clock.Now(), int64(len(batch)))
 	}
 }
 

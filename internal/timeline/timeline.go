@@ -3,6 +3,27 @@
 // renderer. Rows are threads, the x-axis is time, boxes are high-latency
 // events (batch frees or individual free calls), and epoch changes appear
 // as dots projected onto a footer row.
+//
+// # Recording pipeline
+//
+// The recorder is two-stage. Producers append pre-stamped raw entries to a
+// per-thread staging ring (ObserveFree, StageBatchFree, StageMark): one
+// store through a mask plus a fill check, no filtering, no clamping, no
+// capacity comparison. The rings are merged into the committed per-thread
+// event buffers at batch edges — the worker loop's 64-op boundary, phase
+// transitions, participant departure, and trial teardown all call Merge /
+// MergeAll — and only the merge applies the per-event post-processing the
+// hot path used to pay: the FreeCallThreshold filter, mark clamping, drop
+// accounting, and origin rebasing. A ring that fills between batch edges
+// merges itself, so staging never loses an entry.
+//
+// Free-call stamps are not taken by the recorder at all: the allocator
+// models already stamp their Free slow paths (tcache flush, central spill,
+// remote push) for their own statistics, and a free call can only exceed
+// the threshold by hitting such a slow path, so the observer hook
+// (ObserveFree) reuses those stamps and a recorded free costs zero extra
+// clock reads. The only stamps recording adds are the two batch-envelope
+// stamps around each batch free, counted exactly in ClockReads.
 package timeline
 
 import (
@@ -61,42 +82,101 @@ type Event struct {
 // Duration returns the event's length.
 func (e Event) Duration() time.Duration { return time.Duration(e.End - e.Start) }
 
+// Entry is one raw staged record: absolute clock.Now stamps, unfiltered,
+// unclamped, not yet rebased to the origin. Mark-kind entries (epoch
+// advance, garbage sample) carry their coarse stamp in Start and leave End
+// zero; the merge clamps and mirrors it.
+type Entry struct {
+	Start, End int64
+	Value      int64
+	Kind       EventKind
+}
+
+// stageSize is each staging ring's capacity. It must be a power of two
+// (put indexes through stageMask) and comfortably exceed the event rate of
+// one worker batch; a ring that fills early self-merges, so the size bounds
+// merge latency, not fidelity.
+const (
+	stageSize = 1024
+	stageMask = stageSize - 1
+)
+
+// stage is one thread's staging ring. The owning thread is the only writer;
+// merge runs on the owner or, at phase boundaries and teardown, on a
+// coordinator that synchronized with it (the same happens-before contract
+// as threadBuf).
+type stage struct {
+	buf []Entry
+	// n is the fill level; merge resets it to zero.
+	n int
+	// reads counts extra host clock reads charged to recording on this
+	// thread: the two batch-envelope stamps per StageBatchFree, plus one
+	// per legacy RecordFreeCall. Observer entries and marks charge none.
+	reads int64
+	// muted drops ObserveFree entries. Teardown paths (drainAll, departing
+	// threads' cache flushes) free through the allocator but never produced
+	// timeline events under the legacy recorder, so their observer callbacks
+	// are silenced to keep output identical.
+	muted bool
+	_     [8]int64 // avoid false sharing between adjacent threads' rings
+}
+
 type threadBuf struct {
 	events []Event
-	// dropped counts events discarded because the buffer was full. Atomic
-	// so Dropped may be read while other threads are still recording; the
-	// increment sits on the cold buffer-full path.
+	// dropped counts recordable events discarded because the committed
+	// buffer was full. Atomic so Dropped may be read while other threads
+	// are still merging; the increment sits on the cold buffer-full path.
 	dropped atomic.Int64
 	_       [3]int64 // avoid false sharing between adjacent threads' slices
 }
 
-// Recorder collects events into preallocated per-thread buffers. Each thread
-// ID must be used by one goroutine at a time; recording is wait-free and
-// costs at most one clock stamp (see RecordFreeCall) plus a bounds check.
+// Recorder collects events into per-thread buffers that grow on demand up to
+// a fixed logical capacity (growth happens only at merge edges, never on the
+// staging path, so constructing a recorder costs no large zeroed allocation).
+// Each thread ID must be used by one goroutine at a time. The staged path (ObserveFree,
+// StageBatchFree, StageMark) is the production pipeline: wait-free, no
+// branching beyond a mask and a fill check, post-processed only at Merge.
+// The legacy direct path (Record, RecordFreeCall, Mark) commits immediately
+// and remains for tests and parity references; do not mix the two paths on
+// the same tid within a trial, or per-thread event order is unspecified.
 // Stamps are int64 nanoseconds from package clock, so recording does no
 // time.Time arithmetic on the hot path.
 type Recorder struct {
 	origin    int64
 	perThread []threadBuf
+	stages    []stage
 	capEach   int
+	// tee, when non-nil, observes every raw staged entry before it enters
+	// the ring. Parity harnesses replay the stream through a same-origin
+	// reference recorder; nil in production.
+	tee func(tid int, e Entry)
 	// FreeCallThreshold filters KindFreeCall events below this duration;
 	// the paper's free-call timelines show calls longer than 0.1 ms.
 	FreeCallThreshold time.Duration
 }
 
 // NewRecorder creates a recorder for the given number of threads with a
-// fixed per-thread event capacity. A nil *Recorder is valid everywhere and
-// records nothing.
+// fixed logical per-thread event capacity (buffers grow lazily toward it).
+// A nil *Recorder is valid everywhere and records nothing.
 func NewRecorder(threads, capPerThread int) *Recorder {
-	clock.EnsureCoarse() // Mark stamps with the coarse clock
+	clock.EnsureCoarse() // mark stamps use the coarse clock
+	return NewRecorderAt(clock.Now(), threads, capPerThread)
+}
+
+// NewRecorderAt is NewRecorder with an explicit origin stamp. Parity
+// harnesses use it to build a reference recorder sharing a live recorder's
+// time base, so rebased stamps compare bit-for-bit.
+func NewRecorderAt(origin int64, threads, capPerThread int) *Recorder {
+	clock.EnsureCoarse()
 	r := &Recorder{
-		origin:            clock.Now(),
+		origin:            origin,
 		perThread:         make([]threadBuf, threads),
+		stages:            make([]stage, threads),
 		capEach:           capPerThread,
 		FreeCallThreshold: 100 * time.Microsecond,
 	}
-	for i := range r.perThread {
-		r.perThread[i].events = make([]Event, 0, capPerThread)
+	for i := range r.stages {
+		r.stages[i].buf = make([]Entry, stageSize)
 	}
 	return r
 }
@@ -104,9 +184,184 @@ func NewRecorder(threads, capPerThread int) *Recorder {
 // Origin returns the recorder's time origin as a clock.Now value.
 func (r *Recorder) Origin() int64 { return r.origin }
 
+// SetRawTee installs fn to observe every raw staged entry, in per-thread
+// staging order, before filtering or clamping. fn runs on the staging
+// thread; entries for different tids may arrive concurrently. Install
+// before producers start. Test instrumentation — see Entry.
+func (r *Recorder) SetRawTee(fn func(tid int, e Entry)) {
+	if r != nil {
+		r.tee = fn
+	}
+}
+
+// put appends one raw entry to tid's staging ring: a masked store plus a
+// fill check. A full ring merges itself so no entry is ever lost at the
+// staging layer; Dropped accounting happens only at commit, against the
+// committed buffer's capacity.
+func (r *Recorder) put(tid int, s *stage, e Entry) {
+	if r.tee != nil {
+		r.tee(tid, e)
+	}
+	s.buf[s.n&stageMask] = e
+	s.n++
+	if s.n == stageSize {
+		r.Merge(tid)
+	}
+}
+
+// ObserveFree stages one allocator free call from the allocator's own
+// slow-path stamps (see simalloc.FreeObserver). It takes no clock reads of
+// its own: the stamps were already paid for by the allocator's statistics.
+// Muted threads (teardown paths) stage nothing.
+func (r *Recorder) ObserveFree(tid int, startNs, endNs int64) {
+	if r == nil {
+		return
+	}
+	s := &r.stages[tid]
+	if s.muted {
+		return
+	}
+	r.put(tid, s, Entry{Start: startNs, End: endNs, Value: 1, Kind: KindFreeCall})
+}
+
+// StageBatchFree stages one batch-free envelope. The caller took the two
+// stamps (batch begin and end); they are the only clock reads recording
+// adds over an unrecorded trial, and are counted here so ClockReads is
+// exact.
+func (r *Recorder) StageBatchFree(tid int, startNs, endNs, n int64) {
+	if r == nil {
+		return
+	}
+	s := &r.stages[tid]
+	s.reads += 2
+	r.put(tid, s, Entry{Start: startNs, End: endNs, Value: n, Kind: KindBatchFree})
+}
+
+// StageMark stages an instantaneous event (epoch advance, garbage sample)
+// with a coarse-clock stamp: these stamps only position dots on ms-scale
+// plots, so ~clock.CoarseResolution of staleness is invisible and the stamp
+// costs no clock read. Clamping (never before the origin, never before the
+// thread's previously committed event) is applied at merge time, exactly as
+// the legacy Mark applied it at record time.
+func (r *Recorder) StageMark(tid int, kind EventKind, value int64) {
+	if r == nil {
+		return
+	}
+	s := &r.stages[tid]
+	r.put(tid, s, Entry{Start: clock.Coarse(), Value: value, Kind: kind})
+}
+
+// MuteFrees silences ObserveFree for tid until UnmuteFrees. Teardown paths
+// that free through the allocator without producing timeline events (drain,
+// departing threads' cache flushes) bracket themselves with it.
+func (r *Recorder) MuteFrees(tid int) {
+	if r != nil {
+		r.stages[tid].muted = true
+	}
+}
+
+// UnmuteFrees re-enables ObserveFree for tid.
+func (r *Recorder) UnmuteFrees(tid int) {
+	if r != nil {
+		r.stages[tid].muted = false
+	}
+}
+
+// Merge drains tid's staging ring into its committed buffer, applying the
+// deferred per-event logic in staging order: the FreeCallThreshold filter
+// (sub-threshold calls vanish, uncounted), mark clamping, the capacity
+// check (recordable events past capEach count as Dropped), and origin
+// rebasing. Call it from the staging thread, or from a coordinator that
+// synchronized with it.
+func (r *Recorder) Merge(tid int) {
+	if r == nil {
+		return
+	}
+	s := &r.stages[tid]
+	if s.n == 0 {
+		return
+	}
+	buf := &r.perThread[tid]
+	thr := int64(r.FreeCallThreshold)
+	for i := 0; i < s.n; i++ {
+		e := s.buf[i]
+		switch e.Kind {
+		case KindFreeCall:
+			if e.End-e.Start < thr {
+				continue // filtered, not truncation
+			}
+		case KindEpochAdvance, KindGarbageSample:
+			// Legacy Mark clamp: a coarse stamp may lag the origin or the
+			// thread's previous event; bound the displacement.
+			now := e.Start
+			if now < r.origin {
+				now = r.origin
+			}
+			if n := len(buf.events); n > 0 {
+				if last := buf.events[n-1].Start + r.origin; now < last {
+					now = last
+				}
+			}
+			e.Start, e.End = now, now
+		}
+		if len(buf.events) >= r.capEach {
+			buf.dropped.Add(1)
+			continue
+		}
+		buf.events = append(buf.events, Event{
+			Start: e.Start - r.origin,
+			End:   e.End - r.origin,
+			Kind:  e.Kind,
+			Value: e.Value,
+		})
+	}
+	s.n = 0
+}
+
+// MergeAll merges every thread's staging ring. Only call it when no thread
+// is staging (trial stopped, snapshot, teardown).
+func (r *Recorder) MergeAll() {
+	if r == nil {
+		return
+	}
+	for tid := range r.stages {
+		r.Merge(tid)
+	}
+}
+
+// ReplayEntry runs one raw staged entry through the legacy (pre-ring)
+// recording logic: marks take the legacy Mark clamp, everything else the
+// legacy Record path. Parity harnesses tee a live recorder's raw stream
+// into a same-origin reference recorder with it and compare output.
+func (r *Recorder) ReplayEntry(tid int, e Entry) {
+	switch e.Kind {
+	case KindEpochAdvance, KindGarbageSample:
+		r.MarkAt(tid, e.Kind, e.Start, e.Value)
+	default:
+		r.Record(tid, e.Kind, e.Start, e.End, e.Value)
+	}
+}
+
+// ClockReads reports how many extra host clock reads recording has taken
+// beyond what an unrecorded trial performs: two per staged batch-free
+// envelope plus one per legacy RecordFreeCall. Observer entries and marks
+// are free. Read it after the trial quiesced (counters are unsynchronized
+// per-thread fields).
+func (r *Recorder) ClockReads() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.stages {
+		n += r.stages[i].reads
+	}
+	return n
+}
+
 // Record stores one event for tid. Start and end are clock.Now values.
-// Events past the per-thread capacity are dropped (and counted), keeping
-// recording overhead bounded.
+// Recordable events past the per-thread capacity are dropped (and counted),
+// keeping recording overhead bounded. This is the legacy direct path; the
+// production pipeline stages instead (see the package comment).
 func (r *Recorder) Record(tid int, kind EventKind, startNs, endNs, value int64) {
 	if r == nil {
 		return
@@ -128,24 +383,25 @@ func (r *Recorder) Record(tid int, kind EventKind, startNs, endNs, value int64) 
 }
 
 // RecordFreeCall records one allocator free call that began at startNs,
-// taking the end stamp itself so the caller never stamps twice: the returned
-// end value is the next call's start in a tight free loop. The capacity
-// check runs before the stamp, so once a thread's buffer is full — or when
-// the call turns out to be below FreeCallThreshold — the cost is at most the
-// one stamp that doubles as the next interval's start.
+// taking the end stamp itself so the caller never stamps twice: the
+// returned end value is the next call's start in a tight free loop. The
+// stamp is taken unconditionally — the chain must survive full buffers —
+// and the duration is always examined, so Dropped counts only recordable
+// events (at or over FreeCallThreshold) lost to a full buffer; sub-threshold
+// calls are filtered, never counted. Legacy direct path; the production
+// pipeline observes the allocator's own stamps instead (ObserveFree).
 func (r *Recorder) RecordFreeCall(tid int, startNs, value int64) int64 {
 	if r == nil {
 		return startNs
 	}
-	buf := &r.perThread[tid]
-	if len(buf.events) >= r.capEach {
-		// Dropped unexamined: the duration is never measured, so the count
-		// includes calls the threshold filter might have discarded anyway.
-		buf.dropped.Add(1)
-		return startNs
-	}
+	r.stages[tid].reads++
 	endNs := clock.Now()
 	if endNs-startNs < int64(r.FreeCallThreshold) {
+		return endNs
+	}
+	buf := &r.perThread[tid]
+	if len(buf.events) >= r.capEach {
+		buf.dropped.Add(1)
 		return endNs
 	}
 	buf.events = append(buf.events, Event{
@@ -158,15 +414,24 @@ func (r *Recorder) RecordFreeCall(tid int, startNs, value int64) int64 {
 }
 
 // Mark records an instantaneous event (epoch advance, garbage sample) using
-// the coarse clock: these stamps only position dots on ms-scale plots, so
-// ~clock.CoarseResolution of staleness is invisible. The stamp is clamped so
-// a mark never starts before the thread's most recently recorded event's
-// start, bounding how far coarse lag can displace a dot.
+// the coarse clock. Legacy direct path; the production pipeline uses
+// StageMark, which defers the clamp to the merge.
 func (r *Recorder) Mark(tid int, kind EventKind, value int64) {
 	if r == nil {
 		return
 	}
-	now := clock.Coarse()
+	r.MarkAt(tid, kind, clock.Coarse(), value)
+}
+
+// MarkAt is Mark with the coarse stamp already taken: the stamp is clamped
+// so a mark never starts before the origin or before the thread's most
+// recently committed event's start, bounding how far coarse lag can
+// displace a dot, then committed directly.
+func (r *Recorder) MarkAt(tid int, kind EventKind, stampNs, value int64) {
+	if r == nil {
+		return
+	}
+	now := stampNs
 	if now < r.origin {
 		now = r.origin
 	}
@@ -179,13 +444,17 @@ func (r *Recorder) Mark(tid int, kind EventKind, value int64) {
 	r.Record(tid, kind, now, now, value)
 }
 
-// Dropped reports how many events were discarded across all threads because
-// a per-thread buffer reached its capacity. A non-zero count means the
-// timeline is truncated, not that the trial went quiet.
+// Dropped reports how many recordable events were discarded across all
+// threads because a per-thread buffer reached its capacity. A non-zero
+// count means the timeline is truncated, not that the trial went quiet;
+// sub-threshold free calls are filtered by design and never counted here.
+// Dropped merges pending staged entries first, so only call it (like every
+// reader) when no thread is actively staging.
 func (r *Recorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
+	r.MergeAll()
 	var n int64
 	for i := range r.perThread {
 		n += r.perThread[i].dropped.Load()
@@ -201,20 +470,23 @@ func (r *Recorder) Threads() int {
 	return len(r.perThread)
 }
 
-// Events returns tid's recorded events. The slice aliases the recorder's
-// buffer; do not record concurrently with reading.
+// Events returns tid's recorded events, merging the thread's staged entries
+// first. The slice aliases the recorder's buffer; do not record concurrently
+// with reading.
 func (r *Recorder) Events(tid int) []Event {
 	if r == nil {
 		return nil
 	}
+	r.Merge(tid)
 	return r.perThread[tid].events
 }
 
-// TotalEvents counts events across all threads.
+// TotalEvents counts events across all threads (staged entries included).
 func (r *Recorder) TotalEvents() int {
 	if r == nil {
 		return 0
 	}
+	r.MergeAll()
 	n := 0
 	for i := range r.perThread {
 		n += len(r.perThread[i].events)
@@ -229,6 +501,7 @@ func (r *Recorder) TotalEvents() int {
 // "# dropped=N" comment line precedes the header so truncation is never
 // silent.
 func (r *Recorder) WriteCSV(w io.Writer) error {
+	r.MergeAll()
 	if d := r.Dropped(); d > 0 {
 		if _, err := fmt.Fprintf(w, "# dropped=%d\n", d); err != nil {
 			return err
@@ -267,6 +540,7 @@ func RenderASCII(r *Recorder, opt RenderOptions) string {
 	if r == nil || r.Threads() == 0 {
 		return "(no timeline)\n"
 	}
+	r.MergeAll()
 	if opt.Width <= 0 {
 		opt.Width = 100
 	}
@@ -396,6 +670,7 @@ func GarbageCurve(r *Recorder) (times []int64, garbage []int64) {
 	if r == nil {
 		return nil, nil
 	}
+	r.MergeAll()
 	type pt struct{ t, g int64 }
 	var pts []pt
 	for tid := 0; tid < r.Threads(); tid++ {

@@ -113,11 +113,21 @@ func TestRecordFreeCallDroppedAtCapacity(t *testing.T) {
 	r := NewRecorder(1, 1)
 	start := clock.Now() - ms
 	r.RecordFreeCall(0, start, 1)
-	if got := r.RecordFreeCall(0, start, 1); got != start {
-		t.Fatalf("full-buffer RecordFreeCall returned %d, want start back", got)
+	// A full buffer still advances the returned stamp (the chain must
+	// survive truncation) and counts the recordable call as dropped.
+	if got := r.RecordFreeCall(0, start, 1); got <= start {
+		t.Fatalf("full-buffer RecordFreeCall returned %d, want an advanced end stamp", got)
 	}
 	if r.Dropped() != 1 {
 		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	// A sub-threshold call against the full buffer is filtered, not lost:
+	// Dropped means "recordable events lost", consistently.
+	if got := r.RecordFreeCall(0, clock.Now(), 1); got == 0 {
+		t.Fatal("no end stamp returned")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d after sub-threshold call, want still 1", r.Dropped())
 	}
 }
 
@@ -278,6 +288,141 @@ func BenchmarkRecordFreeCallBufferFull(b *testing.B) {
 	c := clock.Now()
 	for i := 0; i < b.N; i++ {
 		c = r.RecordFreeCall(0, c, 1)
+	}
+}
+
+// TestStagedPipelineMatchesLegacy is the unit-level parity pin: a raw entry
+// stream driven through the staging rings, teed into a same-origin reference
+// recorder via the legacy replay path, must produce bit-identical CSV and
+// ASCII output — threshold filtering, mark clamping, capacity drops and
+// origin rebasing all included.
+func TestStagedPipelineMatchesLegacy(t *testing.T) {
+	const capEach = 8 // small enough that the stream overflows it
+	r := NewRecorder(2, capEach)
+	ref := NewRecorderAt(r.Origin(), 2, capEach)
+	r.SetRawTee(func(tid int, e Entry) { ref.ReplayEntry(tid, e) })
+
+	origin := r.Origin()
+	for tid := 0; tid < 2; tid++ {
+		base := origin + int64(tid)*ms
+		for i := int64(0); i < 12; i++ {
+			// Sub-threshold free call: filtered by both paths.
+			r.ObserveFree(tid, base+i*ms, base+i*ms+int64(time.Microsecond))
+			// Long free call: recorded (or dropped at capacity) by both.
+			r.ObserveFree(tid, base+i*ms, base+i*ms+ms/2)
+			r.StageBatchFree(tid, base+i*ms, base+(i+1)*ms, 64)
+			r.StageMark(tid, KindEpochAdvance, i)
+			r.StageMark(tid, KindGarbageSample, 100*i)
+		}
+	}
+	r.MergeAll()
+
+	var got, want strings.Builder
+	if err := r.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("CSV diverged:\nstaged:\n%s\nlegacy:\n%s", got.String(), want.String())
+	}
+	opts := RenderOptions{Width: 40, Kinds: []EventKind{KindBatchFree, KindFreeCall}}
+	if g, w := RenderASCII(r, opts), RenderASCII(ref, opts); g != w {
+		t.Fatalf("ASCII diverged:\nstaged:\n%s\nlegacy:\n%s", g, w)
+	}
+	if g, w := r.Dropped(), ref.Dropped(); g != w {
+		t.Fatalf("Dropped diverged: staged %d, legacy %d", g, w)
+	}
+}
+
+// TestStageRingSelfMerge pins the overflow backstop: staging more entries
+// than the ring holds, with no explicit Merge, loses nothing.
+func TestStageRingSelfMerge(t *testing.T) {
+	const n = 3*stageSize + 17
+	r := NewRecorder(1, 4*stageSize)
+	now := r.Origin()
+	for i := 0; i < n; i++ {
+		r.StageBatchFree(0, now, now+ms, 1)
+	}
+	if got := r.TotalEvents(); got != n {
+		t.Fatalf("TotalEvents = %d, want %d", got, n)
+	}
+}
+
+// TestStagedDropAccounting: recordable staged events past the committed
+// capacity count as dropped; filtered sub-threshold frees never do.
+func TestStagedDropAccounting(t *testing.T) {
+	r := NewRecorder(1, 2)
+	now := r.Origin()
+	for i := 0; i < 5; i++ {
+		r.StageBatchFree(0, now, now+ms, 1)
+	}
+	r.ObserveFree(0, now, now+1) // sub-threshold: filtered, uncounted
+	r.MergeAll()
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+// TestMuteFreesSilencesObserver: muted threads stage no free calls, other
+// staged kinds are unaffected, and unmuting restores the flow.
+func TestMuteFreesSilencesObserver(t *testing.T) {
+	r := NewRecorder(1, 8)
+	now := r.Origin()
+	r.MuteFrees(0)
+	r.ObserveFree(0, now, now+ms)
+	r.StageBatchFree(0, now, now+ms, 1)
+	r.UnmuteFrees(0)
+	r.ObserveFree(0, now, now+ms)
+	r.MergeAll()
+	if got := r.TotalEvents(); got != 2 {
+		t.Fatalf("TotalEvents = %d, want 2 (muted free observed?)", got)
+	}
+}
+
+// TestStagedClockReads pins the extra-read accounting: two per batch-free
+// envelope, none for observer entries or marks.
+func TestStagedClockReads(t *testing.T) {
+	r := NewRecorder(1, 64)
+	now := r.Origin()
+	r.StageBatchFree(0, now, now+ms, 4)
+	r.StageBatchFree(0, now, now+ms, 4)
+	r.ObserveFree(0, now, now+ms)
+	r.StageMark(0, KindEpochAdvance, 1)
+	if got := r.ClockReads(); got != 4 {
+		t.Fatalf("ClockReads = %d, want 4", got)
+	}
+	// The legacy chained path still counts its one stamp per call.
+	r.RecordFreeCall(0, now, 1)
+	if got := r.ClockReads(); got != 5 {
+		t.Fatalf("ClockReads = %d after RecordFreeCall, want 5", got)
+	}
+}
+
+// TestNilRecorderStagedSafe: the staged API is inert on a nil recorder.
+func TestNilRecorderStagedSafe(t *testing.T) {
+	var r *Recorder
+	now := clock.Now()
+	r.ObserveFree(0, now, now+ms)
+	r.StageBatchFree(0, now, now+ms, 1)
+	r.StageMark(0, KindEpochAdvance, 1)
+	r.Merge(0)
+	r.MergeAll()
+	r.MuteFrees(0)
+	r.UnmuteFrees(0)
+	if r.ClockReads() != 0 || r.TotalEvents() != 0 {
+		t.Fatal("nil recorder not inert on the staged API")
+	}
+}
+
+// BenchmarkObserveFree is the recorded-trial free path after the ring
+// surgery: one masked store per observed slow-path free, no clock reads.
+func BenchmarkObserveFree(b *testing.B) {
+	r := NewRecorder(1, 1<<20)
+	now := r.Origin()
+	for i := 0; i < b.N; i++ {
+		r.ObserveFree(0, now, now+1)
 	}
 }
 

@@ -9,6 +9,18 @@
 #        scripts/bench-json.sh results.json # writes results.json
 # Env:   BENCHTIME=200ms   go test -benchtime value
 #        GRID_DUR=40ms     per-trial window of the grid smoke sweep
+#        RECTIME=500ms     -benchtime of the recording-overhead comparison
+#
+# Besides emitting the artifact, the script asserts the recording pipeline's
+# overhead budget: recorded trials must self-report < 2% host overhead
+# (pct_host) and keep >= 95% of unrecorded simops/s. The throughput ratio is
+# scored from BenchmarkTrialPaired, which interleaves recorded and unrecorded
+# trials so shared-runner drift cancels instead of landing in one side of the
+# comparison; the separate recorded/unrecorded benchmarks are still captured
+# side by side in the artifact. Each runs with -count=3 and best-of scoring
+# (max throughput, min pct_host), since drift only ever depresses a run. A
+# violation exits non-zero — after writing the artifact, so the failing
+# numbers are kept.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +34,7 @@ case "$1" in
 esac
 benchtime="${BENCHTIME:-200ms}"
 grid_dur="${GRID_DUR:-40ms}"
+rectime="${RECTIME:-500ms}"
 
 raw="$(go test -run=NONE -bench=. -benchtime="$benchtime" ./internal/...)"
 printf '%s\n' "$raw"
@@ -60,6 +73,41 @@ go run ./cmd/epochgrid \
   -dur "$grid_dur" -keyrange 4096 -trials 2 \
   -format json -out "$tmpdir/grid.json"
 
+# Recording-overhead comparison: recorded vs unrecorded end-to-end trials,
+# side by side. Three counts each; best-of scoring (see header comment).
+rec_raw="$(go test -run=NONE -bench='BenchmarkTrial(Unrecorded|Recorded|Paired)$' \
+  -benchtime="$rectime" -count=3 ./internal/bench/)"
+printf '%s\n' "$rec_raw"
+
+read -r unrec_ops unrec_pct rec_ops rec_pct pair_ratio pair_pct <<EOF2
+$(printf '%s\n' "$rec_raw" | awk '
+  /^BenchmarkTrialUnrecorded/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+      if ($(i+1) == "simops/s" && $i + 0 > uo + 0) uo = $i
+      if ($(i+1) == "pct_host" && (up == "" || $i + 0 < up + 0)) up = $i
+    }
+  }
+  /^BenchmarkTrialRecorded/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+      if ($(i+1) == "simops/s" && $i + 0 > ro + 0) ro = $i
+      if ($(i+1) == "pct_host" && (rp == "" || $i + 0 < rp + 0)) rp = $i
+    }
+  }
+  /^BenchmarkTrialPaired/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+      if ($(i+1) == "rec_ratio_pct" && $i + 0 > pr + 0) pr = $i
+      if ($(i+1) == "rec_pct_host" && (pp == "" || $i + 0 < pp + 0)) pp = $i
+    }
+  }
+  END { print uo, up, ro, rp, pr, pp }')
+EOF2
+if [ -z "${pair_pct:-}" ]; then
+  echo "bench-json: recording benchmarks missing from output" >&2
+  exit 1
+fi
+printf 'recording: unrecorded %s simops/s (pct_host %s), recorded %s simops/s (pct_host %s), paired ratio %s%% (pct_host %s)\n' \
+  "$unrec_ops" "$unrec_pct" "$rec_ops" "$rec_pct" "$pair_ratio" "$pair_pct"
+
 # Host metadata, so BENCH_*.json deltas across PRs are attributable: a
 # throughput change means nothing without knowing whether the go toolchain
 # or the core count moved underneath it. GOMAXPROCS comes from the Go
@@ -83,6 +131,8 @@ gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
   printf '  "benchtime": "%s",\n' "$benchtime"
   printf '  "host": {"go": "%s", "gomaxprocs": %s, "cpus": %s, "os": "%s", "arch": "%s"},\n' \
     "$goversion" "$gomaxprocs" "$cpus" "$(go env GOOS)" "$(go env GOARCH)"
+  printf '  "recording": {"benchtime": "%s", "unrecorded": {"simops_per_s": %s, "pct_host": %s}, "recorded": {"simops_per_s": %s, "pct_host": %s}, "paired_ratio_pct": %s, "paired_pct_host": %s},\n' \
+    "$rectime" "$unrec_ops" "$unrec_pct" "$rec_ops" "$rec_pct" "$pair_ratio" "$pair_pct"
   printf '  "benchmarks": '
   cat "$tmpdir/benchmarks.json"
   printf ',\n  "grid": '
@@ -90,3 +140,10 @@ gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
   printf '}\n'
 } > "$out"
 echo "wrote $out"
+
+# Overhead gate, after the artifact is on disk so failures stay diagnosable.
+if ! awk -v p="$pair_pct" -v rt="$pair_ratio" 'BEGIN { exit !(p + 0 < 2 && rt + 0 >= 95) }'; then
+  echo "bench-json: recording overhead gate FAILED (need recorded pct_host < 2 and paired throughput ratio >= 95%; got pct_host $pair_pct, ratio $pair_ratio%)" >&2
+  exit 1
+fi
+echo "recording overhead gate passed (pct_host $pair_pct < 2, paired ratio $pair_ratio% >= 95%)"
