@@ -49,6 +49,9 @@ func realMain() int {
 		dsName     = flag.String("ds", "", "data structure: abtree, occtree, dgtree")
 		scenario   = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
 		phases     = flag.String("phases", "", "phase schedule applied to every trial: comma-separated [scenario:]LIVExOPS (e.g. \"4x2000,2x2000\")")
+		faults     = flag.String("faults", "", "fault plan applied to every trial: comma-separated kind:wW@AT[~SPAN][/EVERY][xFACTOR] (e.g. \"stall:w0@4096\")")
+		deadline   = flag.Duration("deadline", 0, "per-trial watchdog deadline: abort a trial whose op progress stalls this long (0 = no watchdog)")
+		retries    = flag.Int("retries", 0, "re-execute a failed trial this many times before quarantining it")
 		all        = flag.Bool("all", false, "run every registered experiment")
 		parallel   = flag.Int("parallel", 1, "max in-flight trials for experiment sweeps (1 = serial, bit-compatible order)")
 		storePath  = flag.String("store", "", "JSONL results store: cached trials skip execution, completed trials append")
@@ -143,7 +146,31 @@ func realMain() int {
 	// (serial, no store) executes trials in exactly the order — and with
 	// exactly the seeds — the former inline loops used; -parallel and
 	// -store add concurrency and cached resumability on top.
-	runner := &grid.Runner{Parallel: *parallel}
+	runner := &grid.Runner{Parallel: *parallel, Deadline: *deadline, Retries: *retries}
+	var faultPlan []bench.FaultSpec
+	if *faults != "" {
+		fs, err := bench.ParseFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: -faults: %v\n", err)
+			return 2
+		}
+		// Reject unknown kinds and bad parameters now, not one trial at a
+		// time: probe with a thread count that covers every targeted worker,
+		// so only per-trial facts (the actual thread count) are left to the
+		// trial itself.
+		probe := bench.WorkloadConfig{Threads: 1, Faults: fs}
+		for _, f := range fs {
+			if f.Worker+1 > probe.Threads {
+				probe.Threads = f.Worker + 1
+			}
+		}
+		if err := bench.ValidateFaults(probe); err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: -faults: %v\n", err)
+			return 2
+		}
+		runner.Faults = fs
+		faultPlan = fs
+	}
 	if *storePath != "" {
 		st, err := results.Open(*storePath)
 		if err != nil {
@@ -162,7 +189,12 @@ func realMain() int {
 		BatchSize:     *batch,
 		DataStructure: *dsName,
 		Scenario:      *scenario,
-		RunGrid:       runner.GridFunc(),
+		// Faults/Deadline ride on the options as well as the runner: the
+		// diagnostic experiments call RunTrial directly and would otherwise
+		// silently ignore the flags.
+		Faults:   faultPlan,
+		Deadline: *deadline,
+		RunGrid:  runner.GridFunc(),
 	}
 	if *phases != "" {
 		ph, err := bench.ParsePhases(*phases)
@@ -200,7 +232,8 @@ func realMain() int {
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		if *storePath != "" {
 			executed, cached := runner.Counts()
-			fmt.Printf("(store %s: executed=%d cached=%d)\n\n", *storePath, executed, cached)
+			fmt.Printf("(store %s: executed=%d cached=%d quarantined=%d)\n\n",
+				*storePath, executed, cached, runner.Quarantines())
 		}
 		return 0
 	}

@@ -10,6 +10,16 @@
 // (every key is already present); an interrupted sweep resumes where it
 // stopped. Emit machine-readable results with -format json|csv.
 //
+// Robustness sweeps inject faults and bound wedges:
+//
+//	epochgrid -reclaimers hp,debra -faults "none;stall:w0@4096" \
+//	    -ops 20000 -deadline 2s -retries 1 -store results.jsonl
+//
+// runs every configuration healthy and with worker 0 stalled inside a
+// guard; -deadline arms the per-trial watchdog, and trials that still fail
+// after -retries re-executions are quarantined in the store (resume skips
+// them; the sweep keeps going; exit code 3 reports quarantines).
+//
 // Regression diff between two stores:
 //
 //	epochgrid -compare old.jsonl -with new.jsonl -tol 0.05
@@ -52,6 +62,9 @@ func realMain() int {
 		threads    = flag.String("threads", "", "comma-separated thread-count axis (default: 4)")
 		batches    = flag.String("batches", "", "comma-separated limbo batch-size axis (default: 2048)")
 		trials     = flag.Int("trials", 1, "trials per configuration (seed chain)")
+		faultsFlag = flag.String("faults", "", "fault-plan axis: plans separated by ';', each comma-separated kind:wW@AT[~SPAN][/EVERY][xFACTOR] (empty segment or \"none\" = healthy control, e.g. \"none;stall:w0@4096\")")
+		deadline   = flag.Duration("deadline", 0, "per-trial watchdog deadline: abort a trial whose op progress stalls this long (0 = no watchdog)")
+		retries    = flag.Int("retries", 0, "re-execute a failed trial this many times before quarantining it")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
 		fixedOps   = flag.Int("ops", 0, "run exactly N ops per thread instead of the wall-clock window (deterministic with 1 thread)")
 		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
@@ -65,6 +78,7 @@ func realMain() int {
 		compareOld = flag.String("compare", "", "diff mode: path of the old (baseline) store")
 		compareNew = flag.String("with", "", "diff mode: path of the new store (required with -compare)")
 		tol        = flag.Float64("tol", 0.05, "relative mean-ops tolerance for unchanged classification")
+		limboTol   = flag.Float64("limbo-tol", 0, "diff mode: peak-limbo growth factor beyond which a group regresses (0 = default 4.0)")
 	)
 	flag.Parse()
 
@@ -77,7 +91,7 @@ func realMain() int {
 	}
 
 	if *compareOld != "" || *compareNew != "" {
-		return runCompare(*compareOld, *compareNew, *tol, *format, *outPath)
+		return runCompare(*compareOld, *compareNew, *tol, *limboTol, *format, *outPath)
 	}
 
 	spec := grid.Spec{
@@ -98,6 +112,19 @@ func realMain() int {
 				return 2
 			}
 			spec.PhaseSchedules = append(spec.PhaseSchedules, ph)
+		}
+	}
+	if strings.TrimSpace(*faultsFlag) != "" {
+		for _, plan := range strings.Split(*faultsFlag, ";") {
+			// Same convention: an empty segment (or "none") is the healthy
+			// control, so "-faults \"none;stall:w0@4096\"" sweeps faulted
+			// configs against their no-fault baselines in one grid.
+			fs, err := bench.ParseFaults(plan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "epochgrid: -faults: %v\n", err)
+				return 2
+			}
+			spec.FaultPlans = append(spec.FaultPlans, fs)
 		}
 	}
 	var err error
@@ -133,7 +160,7 @@ func realMain() int {
 		return 2
 	}
 
-	runner := &grid.Runner{Parallel: *parallel, Budget: *budget}
+	runner := &grid.Runner{Parallel: *parallel, Budget: *budget, Deadline: *deadline, Retries: *retries}
 	if *storePath != "" {
 		st, err := results.Open(*storePath)
 		if err != nil {
@@ -146,11 +173,19 @@ func realMain() int {
 	if *progress {
 		runner.OnProgress = func(p grid.Progress) {
 			verb := "ran"
-			if p.FromCache {
+			switch {
+			case p.Err != nil && p.FromCache:
+				verb = "skipped quarantined"
+			case p.Err != nil:
+				verb = "quarantined"
+			case p.FromCache:
 				verb = "hit"
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s (%s)\n",
 				p.Done, p.Total, verb, results.Label(p.Config), p.Key)
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "    %v\n", p.Err)
+			}
 		}
 	}
 
@@ -172,9 +207,18 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
 		return 1
 	}
-	// Machine-greppable run line (the CI cache-hit gate matches executed=0).
-	fmt.Fprintf(os.Stderr, "grid: configs=%d trials=%d executed=%d cached=%d wall=%v\n",
-		len(sums), executed+cached, executed, cached, time.Since(t0).Round(time.Millisecond))
+	// Machine-greppable run line (the CI cache-hit gate matches executed=0,
+	// the robustness gate matches quarantined=N).
+	quarantined := runner.Quarantines()
+	fmt.Fprintf(os.Stderr, "grid: configs=%d trials=%d executed=%d cached=%d quarantined=%d wall=%v\n",
+		len(sums), executed+cached+quarantined, executed, cached, quarantined,
+		time.Since(t0).Round(time.Millisecond))
+	if quarantined > 0 {
+		// The sweep completed and its results were emitted, but some trials
+		// failed permanently — a distinct exit code so CI can tell "grid
+		// survived wedges" (expected in fault sweeps) from a clean pass.
+		return 3
+	}
 	return 0
 }
 
@@ -234,6 +278,26 @@ func phasesOf(s bench.Summary) string {
 	return bench.FormatPhases(ph)
 }
 
+// faultsOf renders a summary's fault plan ("none" for healthy configs), so
+// fault sweeps are self-describing in every output format.
+func faultsOf(s bench.Summary) string {
+	return bench.FormatFaults(s.Cfg.Faults)
+}
+
+// peakLimboOf is the mean unreclaimed-object high-water mark across a
+// summary's trials — the robustness metric a stall sweep compares between
+// hazard-family (bounded) and epoch-based (unbounded) schemes.
+func peakLimboOf(s bench.Summary) float64 {
+	if len(s.Trials) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tr := range s.Trials {
+		sum += float64(tr.PeakLimbo)
+	}
+	return sum / float64(len(s.Trials))
+}
+
 // droppedOf sums recordable timeline events lost to full recorder buffers
 // across a summary's trials. Non-zero only for recorded configurations whose
 // timelines were truncated; surfaced in every format so clipped recordings
@@ -252,29 +316,31 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 	switch format {
 	case "table":
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "scenario\tphases\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tdropped")
+		fmt.Fprintln(tw, "scenario\tphases\tfaults\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tpeak limbo\tdropped")
 		for _, s := range sums {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%d\n",
-				s.Cfg.Scenario, phasesOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%d\n",
+				s.Cfg.Scenario, phasesOf(s), faultsOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
-				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, droppedOf(s))
+				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, peakLimboOf(s), droppedOf(s))
 		}
 		return tw.Flush()
 	case "csv":
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{
-			"scenario", "phases", "ds", "allocator", "reclaimer", "threads", "batch",
-			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib", "dropped",
+			"scenario", "phases", "faults", "ds", "allocator", "reclaimer", "threads", "batch",
+			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
+			"mean_peak_limbo", "dropped",
 		}); err != nil {
 			return err
 		}
 		for _, s := range sums {
 			if err := cw.Write([]string{
-				s.Cfg.Scenario, phasesOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+				s.Cfg.Scenario, phasesOf(s), faultsOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				strconv.Itoa(s.Cfg.Threads), strconv.Itoa(s.Cfg.BatchSize),
 				seedList(s), strconv.Itoa(len(s.Trials)),
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
 				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
+				fmt.Sprintf("%.1f", peakLimboOf(s)),
 				strconv.FormatInt(droppedOf(s), 10),
 			}); err != nil {
 				return err
@@ -286,6 +352,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 		type jsonSummary struct {
 			Scenario      string   `json:"scenario"`
 			Phases        string   `json:"phases,omitempty"`
+			Faults        string   `json:"faults,omitempty"`
 			DataStructure string   `json:"ds"`
 			Allocator     string   `json:"allocator"`
 			Reclaimer     string   `json:"reclaimer"`
@@ -297,6 +364,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			MinOps        float64  `json:"min_ops"`
 			MaxOps        float64  `json:"max_ops"`
 			MeanPeakMiB   float64  `json:"mean_peak_mib"`
+			MeanPeakLimbo float64  `json:"mean_peak_limbo"`
 			Dropped       int64    `json:"dropped,omitempty"`
 		}
 		doc := struct {
@@ -305,14 +373,19 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			Summaries []jsonSummary `json:"summaries"`
 		}{Executed: executed, Cached: cached}
 		for _, s := range sums {
+			faults := faultsOf(s)
+			if faults == "none" {
+				faults = ""
+			}
 			js := jsonSummary{
-				Scenario: s.Cfg.Scenario, Phases: phasesOf(s),
+				Scenario: s.Cfg.Scenario, Phases: phasesOf(s), Faults: faults,
 				DataStructure: s.Cfg.DataStructure,
 				Allocator:     s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
 				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
 				Trials:  len(s.Trials),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
-				MeanPeakMiB: s.MeanPeakMiB, Dropped: droppedOf(s),
+				MeanPeakMiB: s.MeanPeakMiB, MeanPeakLimbo: peakLimboOf(s),
+				Dropped: droppedOf(s),
 			}
 			for _, tr := range s.Trials {
 				js.Seeds = append(js.Seeds, tr.Seed)
@@ -336,7 +409,7 @@ func seedList(s bench.Summary) string {
 }
 
 // runCompare diffs two stores and exits nonzero on regression.
-func runCompare(oldPath, newPath string, tol float64, format, outPath string) int {
+func runCompare(oldPath, newPath string, tol, limboTol float64, format, outPath string) int {
 	if oldPath == "" || newPath == "" {
 		fmt.Fprintln(os.Stderr, "epochgrid: -compare OLD and -with NEW are both required")
 		return 2
@@ -351,7 +424,7 @@ func runCompare(oldPath, newPath string, tol float64, format, outPath string) in
 		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
 		return 1
 	}
-	rep := results.Compare(oldStore, newStore, results.Tolerances{RelOps: tol})
+	rep := results.Compare(oldStore, newStore, results.Tolerances{RelOps: tol, LimboFactor: limboTol})
 
 	out, cleanup, err := openOut(outPath)
 	if err != nil {

@@ -196,7 +196,7 @@ func runPhases(cfg *WorkloadConfig, st *Stack, runs []phaseRun) (int64, time.Dur
 			for c := range cmds[w] {
 				pcfg := *cfg
 				pcfg.FixedOps = c.ops
-				n := runWorker(&pcfg, st, c.slot, c.kd, c.om)
+				n := runWorker(&pcfg, st, w, c.slot, c.kd, c.om)
 				atomic.AddInt64(&opsCtr[w].v, n)
 				phaseWG.Done()
 			}
@@ -211,18 +211,37 @@ func runPhases(cfg *WorkloadConfig, st *Stack, runs []phaseRun) (int64, time.Dur
 	}
 	cur := threads
 
+	// A crash-faulted worker never runs again: the coordinator stops
+	// dispatching to it, its slot is neither Left on shrink (the crash
+	// stranded it mid-operation — the trial-end reaper retires it) nor
+	// re-Joined on growth.
+	deadWorker := func(w int) bool {
+		return st.faults != nil && st.faults.isDead(w)
+	}
+
 	start := time.Now()
 	var err error
 	for pi, pr := range runs {
+		if st.Aborted() {
+			// Watchdog abort between phases: skip the rest of the schedule.
+			break
+		}
+		st.phase.Store(int64(pi))
 		live := pr.spec.Live
 		// Shrink: the highest-indexed workers leave first, so the LIFO
 		// free list re-admits them in reverse order on the next growth.
 		for w := cur - 1; w >= live; w-- {
+			if deadWorker(w) {
+				continue
+			}
 			st.Leave(slots[w])
 			slots[w] = -1
 		}
 		// Grow: parked workers re-join on recycled slots.
 		for w := cur; w < live; w++ {
+			if deadWorker(w) {
+				continue
+			}
 			slot, jerr := st.Join()
 			if jerr != nil {
 				err = fmt.Errorf("bench: phase %d: %w", pi, jerr)
@@ -240,8 +259,11 @@ func runPhases(cfg *WorkloadConfig, st *Stack, runs []phaseRun) (int64, time.Dur
 		pcfg := *cfg
 		pcfg.Scenario = pr.spec.Scenario
 		pcfg.Seed = phaseSeed(cfg.Seed, pi)
-		phaseWG.Add(live)
 		for w := 0; w < live; w++ {
+			if deadWorker(w) {
+				continue
+			}
+			phaseWG.Add(1)
 			cmds[w] <- phaseCmd{
 				slot: slots[w],
 				kd:   pr.wl.KeyDist(&pcfg, w),

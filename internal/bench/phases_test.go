@@ -48,7 +48,7 @@ func TestChurnStressAllReclaimers(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				prefill(&cfg, st.Set)
+				prefill(&cfg, st)
 				total, _, err := runPhases(&cfg, st, runs)
 				if err != nil {
 					t.Fatal(err)

@@ -30,7 +30,7 @@ func runTeedTrial(t *testing.T, cfg WorkloadConfig) (live, ref *timeline.Recorde
 	ref.FreeCallThreshold = st.Recorder.FreeCallThreshold
 	st.Recorder.SetRawTee(ref.ReplayEntry)
 
-	prefill(&cfg, st.Set)
+	prefill(&cfg, st)
 
 	wl, err := NewScenario(cfg.Scenario)
 	if err != nil {
@@ -47,7 +47,7 @@ func runTeedTrial(t *testing.T, cfg WorkloadConfig) (live, ref *timeline.Recorde
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			runWorker(&cfg, st, tid, keys[tid], mixes[tid])
+			runWorker(&cfg, st, tid, tid, keys[tid], mixes[tid])
 		}(tid)
 	}
 	wg.Wait()

@@ -40,6 +40,14 @@ type Options struct {
 	// experiment runs (see WorkloadConfig.Phases): each table or figure is
 	// then measured under thread churn instead of a fixed population.
 	Phases []PhaseSpec
+	// Faults, when non-empty, applies a fault plan to every trial the
+	// experiment runs (see WorkloadConfig.Faults). Carried on the config
+	// itself — not only on the grid runner — so the diagnostic experiments
+	// that call RunTrial directly are faulted too.
+	Faults []FaultSpec
+	// Deadline, when positive, arms the per-trial watchdog on every trial
+	// (see WorkloadConfig.Deadline).
+	Deadline time.Duration
 	// RecorderCap overrides the per-thread timeline capacity for
 	// record-enabled experiments when positive (smoke tests shrink it; the
 	// default 100000 × 240 threads preallocates hundreds of MiB).
@@ -104,6 +112,8 @@ func (o *Options) workload(threads int) WorkloadConfig {
 	cfg.DataStructure = o.DataStructure
 	cfg.Scenario = o.Scenario
 	cfg.Phases = o.Phases
+	cfg.Faults = o.Faults
+	cfg.Deadline = o.Deadline
 	if o.RecorderCap > 0 {
 		cfg.RecorderCap = o.RecorderCap
 	}

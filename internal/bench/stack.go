@@ -29,7 +29,18 @@ type Stack struct {
 
 	cfg     WorkloadConfig
 	stopped atomic.Bool
+	aborted atomic.Bool
 	closed  bool
+
+	// faults is the trial's resolved fault plan; nil when cfg.Faults is
+	// empty, so the no-fault batch edge pays one nil check.
+	faults *faultEngine
+	// heart is the ops-progress heartbeat: workers (and prefill) add each
+	// completed batch. The watchdog declares a trial wedged when it stops
+	// moving; stall faults measure their release span against it.
+	heart atomic.Int64
+	// phase is the running phase index (phased trials), for diagnostics.
+	phase atomic.Int64
 }
 
 // NewStack constructs the allocator, reclaimer and set for cfg.
@@ -104,6 +115,10 @@ func NewStack(cfg WorkloadConfig) (*Stack, error) {
 		return nil, err
 	}
 	s.Set = set
+
+	if s.faults, err = newFaultEngine(&cfg); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -141,6 +156,43 @@ func (s *Stack) Stop() { s.stopped.Store(true) }
 // poll it as their exit condition.
 func (s *Stack) Stopped() bool { return s.stopped.Load() }
 
+// Abort ends the trial abnormally: it stops the window (releasing every
+// stop-aware wait — grace periods, parked fault injections) and raises the
+// aborted flag that FixedOps workers, which otherwise run their budget to
+// completion, check at batch boundaries. The watchdog calls it when the
+// heartbeat flatlines.
+func (s *Stack) Abort() {
+	s.aborted.Store(true)
+	s.stopped.Store(true)
+}
+
+// Aborted reports whether the trial was aborted.
+func (s *Stack) Aborted() bool { return s.aborted.Load() }
+
+// Heartbeat returns the cumulative completed-batch op count, the progress
+// signal the watchdog monitors.
+func (s *Stack) Heartbeat() int64 { return s.heart.Load() }
+
+// reapCrashed retires the slots of crash-faulted workers after every live
+// worker has returned: each dead slot Leaves post-mortem, orphaning its
+// stranded limbo so Close's Drain adopts and frees it — the participant
+// registry's worst-case adoption path, exercised deliberately. Reaping is
+// part of teardown, not the measured window; Snapshot runs first.
+func (s *Stack) reapCrashed() {
+	fe := s.faults
+	if fe == nil {
+		return
+	}
+	for w := range fe.state {
+		if !fe.state[w].dead.Load() {
+			continue
+		}
+		if slot := fe.state[w].slot.Load(); slot >= 0 {
+			s.Leave(int(slot))
+		}
+	}
+}
+
 // Snapshot captures the paper's metric surface — throughput, peak memory,
 // and the %free/%flush/%lock perf percentages — for a window that performed
 // ops operations in wall time. Take it before Close: the paper's accounting
@@ -159,17 +211,21 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	res.PctFree = simalloc.PctOf(res.Alloc.FreeNanos, wall, s.cfg.Threads)
 	res.PctFlush = simalloc.PctOf(res.Alloc.FlushNanos, wall, s.cfg.Threads)
 	res.PctLock = simalloc.PctOf(res.Alloc.LockNanos, wall, s.cfg.Threads)
+	res.PeakLimbo = res.SMR.PeakLimbo
+	res.PctStall = simalloc.PctOf(res.SMR.StallNanos, wall, s.cfg.Threads)
+	res.Faults = s.faults.snapshot()
 	res.Recorder = s.Recorder
 
 	// Host-overhead self-report (see TrialResult). The allocator counts its
 	// own stamps exactly (Stats.ClockReads — all on slow paths; tcache-hit
-	// allocs and frees take none since the PR 4 dispatch surgery), and the
-	// recorder counts the stamps recording adds on top — two per batch-free
-	// envelope; observed free calls and coarse-clock marks take none — so
-	// the sum is exact, not an estimate.
+	// allocs and frees take none since the PR 4 dispatch surgery), the
+	// reclaimer counts the stall-duration stamps (two per blocking
+	// grace-period wait), and the recorder counts the stamps recording adds
+	// on top — two per batch-free envelope; observed free calls and
+	// coarse-clock marks take none — so the sum is exact, not an estimate.
 	s.Recorder.MergeAll()
 	res.Dropped = s.Recorder.Dropped()
-	res.HostClockReads = res.Alloc.ClockReads + s.Recorder.ClockReads()
+	res.HostClockReads = res.Alloc.ClockReads + res.SMR.ClockReads + s.Recorder.ClockReads()
 	res.HostOverheadNanos = int64(float64(res.HostClockReads) * clock.ReadCostNs())
 	res.PctHostOverhead = simalloc.PctOf(res.HostOverheadNanos, wall, s.cfg.Threads)
 	return res

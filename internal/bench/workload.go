@@ -22,7 +22,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/ds"
 	"repro/internal/simalloc"
 	"repro/internal/smr"
 	"repro/internal/timeline"
@@ -128,6 +127,20 @@ type WorkloadConfig struct {
 	// carry a default schedule (see PhasedWorkload) used when this field
 	// is empty.
 	Phases []PhaseSpec
+
+	// Faults, when non-empty, is the trial's injected fault plan: seeded,
+	// deterministic stall/wedge/crash/slowdown events fired at the 64-op
+	// batch boundaries of chosen workers (see FaultSpec). The no-fault hot
+	// path is untouched. Composes with Phases — trigger points count each
+	// worker's cumulative ops across the whole schedule.
+	Faults []FaultSpec `json:",omitempty"`
+	// Deadline, when positive, arms the trial watchdog: if no worker
+	// completes a batch for this long, the trial is aborted with per-thread
+	// diagnostics and RunTrial returns a *TrialError instead of hanging.
+	// Zero disables the watchdog (the historical behavior). The deadline
+	// never affects a healthy trial's measurements, so results keys ignore
+	// it (results.Normalize zeroes it).
+	Deadline time.Duration `json:",omitempty"`
 }
 
 // DefaultWorkload returns the scaled-down version of the paper's
@@ -178,6 +191,19 @@ type TrialResult struct {
 	// of total thread-time spent in free, in cache flushes, and blocked on
 	// allocator locks.
 	PctFree, PctFlush, PctLock float64
+	// PeakLimbo is the trial's unreclaimed-object high-water mark
+	// (smr.Stats.PeakLimbo surfaced as a first-class comparable metric):
+	// the bounded-garbage dichotomy under stalled or crashed threads.
+	PeakLimbo int64
+	// PctStall is the share of thread-time spent in blocking grace-period
+	// waits (smr.Stats.StallNanos), comparable with PctFree/PctFlush.
+	PctStall float64 `json:",omitempty"`
+	// Faults counts the injected faults by kind; all zero for no-fault
+	// trials.
+	Faults FaultStats `json:",omitempty"`
+	// Error carries the abort reason of a watchdog-aborted trial; empty on
+	// success. The full diagnostics ride the *TrialError RunTrial returns.
+	Error string `json:",omitempty"`
 	// Host-overhead self-report: how much wall time the harness spent on
 	// measurement itself rather than modeled work. HostClockReads is the
 	// allocator's exact stamp count (simalloc.Stats.ClockReads — slow paths
@@ -279,8 +305,10 @@ var afterPrefill atomic.Pointer[func()]
 func OnFirstPrefillDone(f func()) { afterPrefill.Store(&f) }
 
 // prefill inserts random keys in parallel until the set holds half the key
-// range, the paper's steady-state size.
-func prefill(cfg *WorkloadConfig, set ds.Set) {
+// range, the paper's steady-state size. Prefill batches feed the stack's
+// heartbeat so an armed watchdog covers the prefill too.
+func prefill(cfg *WorkloadConfig, st *Stack) {
+	set := st.Set
 	target := cfg.KeyRange / 2
 	var wg sync.WaitGroup
 	for tid := 0; tid < cfg.Threads; tid++ {
@@ -292,6 +320,7 @@ func prefill(cfg *WorkloadConfig, set ds.Set) {
 				for i := 0; i < 64; i++ {
 					set.Insert(tid, r.intn(cfg.KeyRange))
 				}
+				st.heart.Add(64)
 				runtime.Gosched()
 			}
 		}(tid)
@@ -300,15 +329,28 @@ func prefill(cfg *WorkloadConfig, set ds.Set) {
 }
 
 // runWorker is one simulated thread's measured loop: draw a batch of keys
-// and op kinds, execute it, repeat until the stop flag (wall-clock trials)
-// or the fixed op budget (FixedOps trials) ends the window. The per-op path
-// contains only the set call itself; stream draws, the stop check, the
-// yield policy, and the timeline staging-ring merge all live on batch
-// boundaries — except under the legacy per-op yield (YieldEvery > 0), which
-// is preserved verbatim for A/B runs.
-func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) int64 {
+// and op kinds, execute it, repeat until the stop flag (wall-clock trials),
+// the fixed op budget (FixedOps trials), a watchdog abort, or a crash fault
+// ends the window. The per-op path contains only the set call itself;
+// stream draws, the stop check, the yield policy, the timeline staging-ring
+// merge, the heartbeat, and the fault hook all live on batch boundaries —
+// except under the legacy per-op yield (YieldEvery > 0), which is preserved
+// verbatim for A/B runs.
+//
+// w is the worker index — equal to tid in unphased trials, stable across
+// slot recycling in phased ones — and keys the fault engine's per-worker
+// schedules.
+func runWorker(cfg *WorkloadConfig, st *Stack, w, tid int, kd KeyDist, om OpMix) int64 {
 	set := st.Set
 	rec := st.Recorder // nil-safe: Merge on a nil recorder is a no-op
+	fe := st.faults
+	if fe != nil {
+		if fe.isDead(w) {
+			return 0 // crashed in an earlier phase; never runs again
+		}
+		fe.enter(w, tid)
+		defer fe.exit()
+	}
 	var s opStream
 	local := int64(0)
 	fixed := int64(cfg.FixedOps)
@@ -321,7 +363,7 @@ func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) in
 	for {
 		n := opBatchSize
 		if fixed > 0 {
-			if local >= fixed {
+			if local >= fixed || st.Aborted() {
 				break
 			}
 			if rem := fixed - local; rem < int64(n) {
@@ -347,22 +389,28 @@ func runWorker(cfg *WorkloadConfig, st *Stack, tid int, kd KeyDist, om OpMix) in
 					runtime.Gosched()
 				}
 			}
-			rec.Merge(tid)
-			continue
-		}
-		for i := 0; i < n; i++ {
-			key := s.keys[i]
-			switch s.kinds[i] {
-			case OpInsert:
-				set.Insert(tid, key)
-			case OpDelete:
-				set.Delete(tid, key)
-			default:
-				set.Contains(tid, key)
+		} else {
+			for i := 0; i < n; i++ {
+				key := s.keys[i]
+				switch s.kinds[i] {
+				case OpInsert:
+					set.Insert(tid, key)
+				case OpDelete:
+					set.Delete(tid, key)
+				default:
+					set.Contains(tid, key)
+				}
 			}
+			local += int64(n)
 		}
-		local += int64(n)
 		rec.Merge(tid)
+		st.heart.Add(int64(n))
+		if fe != nil && fe.onBatch(st, w, tid, n) {
+			// Crash fault: exit without Leave, stranding the slot's limbo.
+			// The staged timeline entries merged above, so the abandoned
+			// ring is empty; the trial-end reaper Leaves the slot.
+			return local
+		}
 		if stride > 0 {
 			if sinceYield += int64(n); sinceYield >= stride {
 				sinceYield = 0
@@ -419,25 +467,60 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
-	prefill(&cfg, st.Set)
+	// The watchdog (if cfg.Deadline arms one) covers everything from here on:
+	// prefill, the measured window, and phase transitions all feed the
+	// heartbeat it monitors.
+	wd := startWatchdog(st, cfg.Deadline)
+	defer wd.stop()
+	prefill(&cfg, st)
 	if f := afterPrefill.Swap(nil); f != nil {
 		(*f)()
 	}
 
 	if runs != nil {
-		total, wall, perr := runPhases(&cfg, st, runs)
-		if perr != nil {
+		type phasesOut struct {
+			total int64
+			wall  time.Duration
+			err   error
+		}
+		out := make(chan phasesOut, 1)
+		go func() {
+			total, wall, perr := runPhases(&cfg, st, runs)
+			out <- phasesOut{total, wall, perr}
+		}()
+		var po phasesOut
+		select {
+		case po = <-out:
+		case <-wd.firedCh():
+			// Aborted: the coordinator and workers unwind through their
+			// stop-aware checks; give them the grace window.
+			select {
+			case po = <-out:
+			case <-time.After(abortGrace):
+				return abandonedResult(&cfg, wd)
+			}
+		}
+		// Workers are done; retire the watchdog before teardown so a slow
+		// final drain cannot fire it spuriously. trialErr is stable after
+		// stop.
+		wd.stop()
+		if po.err != nil {
 			st.Close()
-			return TrialResult{}, perr
+			return TrialResult{}, po.err
 		}
 		st.Stop()
-		res := st.Snapshot(total, wall)
+		st.reapCrashed()
+		res := st.Snapshot(po.total, po.wall)
 		specs := make([]PhaseSpec, len(runs))
 		for i, r := range runs {
 			specs[i] = r.spec
 		}
 		res.Phases = FormatPhases(specs)
 		st.Close()
+		if terr := wd.trialErr(); terr != nil {
+			res.Error = terr.Reason
+			return res, terr
+		}
 		return res, nil
 	}
 
@@ -461,21 +544,38 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			atomic.StoreInt64(&ops[tid].v, runWorker(&cfg, st, tid, keys[tid], mixes[tid]))
+			atomic.StoreInt64(&ops[tid].v, runWorker(&cfg, st, tid, tid, keys[tid], mixes[tid]))
 		}(tid)
 	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
 	if cfg.FixedOps > 0 {
 		// Deterministic window: every thread runs its budget to completion;
 		// the stop flag is only raised afterwards (for the reclaimers'
-		// blocking-wait bail-outs during teardown).
-		wg.Wait()
+		// blocking-wait bail-outs during teardown). A watchdog abort is the
+		// one early exit: workers observe it at batch boundaries and
+		// stop-aware waits release, so awaitWorkers normally returns within
+		// the grace window even for a wedged trial.
+		if !awaitWorkers(done, wd) {
+			return abandonedResult(&cfg, wd)
+		}
 		st.Stop()
 	} else {
-		time.Sleep(cfg.Duration)
+		select {
+		case <-time.After(cfg.Duration):
+		case <-wd.firedCh():
+		}
 		st.Stop()
-		wg.Wait()
+		if !awaitWorkers(done, wd) {
+			return abandonedResult(&cfg, wd)
+		}
 	}
 	wall := time.Since(start)
+	// Workers are done; retire the watchdog before teardown so a slow final
+	// drain cannot fire it spuriously, then reap crash-faulted slots (their
+	// stranded limbo becomes orphans for Close's drain to adopt).
+	wd.stop()
+	st.reapCrashed()
 
 	var total int64
 	for i := range ops {
@@ -486,6 +586,10 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	// Hygiene: release remaining limbo so the allocator's lifecycle checks
 	// stay clean. Measurements above were taken first, as in the paper.
 	st.Close()
+	if terr := wd.trialErr(); terr != nil {
+		res.Error = terr.Reason
+		return res, terr
+	}
 	return res, nil
 }
 

@@ -4,24 +4,32 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/results"
 )
 
-// Progress is one streamed runner event: a trial finished (from cache or
-// execution). Counters are cumulative over the Run call.
+// Progress is one streamed runner event: a trial finished (from cache,
+// execution, or permanent failure). Counters are cumulative over the Run
+// call.
 type Progress struct {
 	// Done/Total count trials, not configs (each config contributes one
 	// trial per chained seed).
 	Done, Total int
-	// Executed/Cached partition Done.
-	Executed, Cached int
+	// Executed/Cached/Failed partition Done. A failed trial exhausted its
+	// retries (or hit a cached quarantine record) — the sweep kept going.
+	Executed, Cached, Failed int
 	// Key and Config identify the trial that just completed.
 	Key    string
 	Config bench.WorkloadConfig
-	// FromCache is true when the trial was satisfied from the store.
+	// FromCache is true when the trial was satisfied from the store —
+	// including a cached quarantine record (then Err is also set).
 	FromCache bool
+	// Err is the permanent failure for a failed trial, nil otherwise.
+	Err error
+	// Attempts is how many executions this trial took (0 for cache hits).
+	Attempts int
 }
 
 // weighted is a counting semaphore with weighted acquisition. The single
@@ -59,6 +67,14 @@ func (w *weighted) release(n int) {
 // same grid against the same store executes nothing, and an interrupted
 // sweep resumes from its last flushed record.
 //
+// The runner survives bad trials: a panic is recovered into an error, an
+// error is retried up to Retries times with doubling Backoff, and a
+// permanent failure is quarantined — persisted to the store as a
+// quarantine record (so resume skips it), reported through OnProgress, and
+// excluded from summaries — while the rest of the sweep keeps running. Run
+// returns an error only for infrastructure failures (store appends) or
+// when every trial failed.
+//
 // Concurrency is bounded two ways: Parallel caps in-flight trials, and each
 // in-flight trial additionally holds cfg.Threads tokens of the global
 // Budget. A 192-thread trial next to a 2-thread trial costs 96× more of
@@ -81,9 +97,27 @@ type Runner struct {
 	// are serialized.
 	OnProgress func(Progress)
 
-	mu       sync.Mutex
-	executed int
-	cached   int
+	// Deadline is the default per-trial watchdog deadline, applied to every
+	// config that doesn't set its own. Zero leaves configs as they are
+	// (no watchdog unless the config arms one).
+	Deadline time.Duration
+	// Retries is how many times a failed trial is re-executed before it is
+	// quarantined; 0 means fail on the first error. Trials are deterministic,
+	// so retries mainly cover scheduling-sensitive faults (a wedge needs the
+	// goroutine interleaving to line up) and host-side flakes.
+	Retries int
+	// Backoff is the sleep before the first retry (doubling per attempt);
+	// <= 0 means 50ms.
+	Backoff time.Duration
+	// Faults is the default fault plan, applied to every config that doesn't
+	// carry its own. Plans change trial keys (a faulted trial is a different
+	// experiment), so the default is applied before any cache lookup.
+	Faults []bench.FaultSpec
+
+	mu          sync.Mutex
+	executed    int
+	cached      int
+	quarantined int
 }
 
 // Counts reports the cumulative executed/cached trial counts across every
@@ -92,6 +126,29 @@ func (r *Runner) Counts() (executed, cached int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.executed, r.cached
+}
+
+// Quarantines reports the cumulative permanently-failed trial count across
+// every Run on this runner (fresh quarantines and cached quarantine hits).
+func (r *Runner) Quarantines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quarantined
+}
+
+// runTrial is the trial executor, a variable so resilience tests can swap
+// in doubles that panic, fail N times, or wedge.
+var runTrial = bench.RunTrial
+
+// runTrialSafe converts a panicking trial into an error, so one panicking
+// configuration cannot kill the whole sweep's process.
+func runTrialSafe(cfg bench.WorkloadConfig) (tr bench.TrialResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("grid: trial panicked: %v", p)
+		}
+	}()
+	return runTrial(cfg)
 }
 
 // Run executes one batch with the GridFunc contract (bench.GridFunc):
@@ -113,13 +170,28 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		cfg              bench.WorkloadConfig
 	}
 	var tasks []task
+	// eff carries the effective per-config workloads: runner-level defaults
+	// apply here, at task-build time. The fault plan must land before any
+	// key computation (plans are hashed — a faulted trial is a different
+	// experiment); the deadline is normalized out of keys, so its placement
+	// is free.
+	eff := make([]bench.WorkloadConfig, len(cfgs))
 	perCfg := make([][]bench.TrialResult, len(cfgs))
+	okCfg := make([][]bool, len(cfgs))
 	for i, cfg := range cfgs {
+		if len(cfg.Faults) == 0 && len(r.Faults) > 0 {
+			cfg.Faults = r.Faults
+		}
+		if cfg.Deadline == 0 {
+			cfg.Deadline = r.Deadline
+		}
+		eff[i] = cfg
 		seeds := []uint64{cfg.Seed}
 		if trials >= 1 {
 			seeds = bench.TrialSeeds(cfg.Seed, trials)
 		}
 		perCfg[i] = make([]bench.TrialResult, len(seeds))
+		okCfg[i] = make([]bool, len(seeds))
 		for j, seed := range seeds {
 			c := cfg
 			c.Seed = seed
@@ -134,7 +206,8 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		done     int
 		executed int
 		cached   int
-		firstErr error
+		failed   int
+		firstErr error // infrastructure failures only (store append) — trial failures quarantine instead
 	)
 	slots := make(chan struct{}, parallel)
 	tokens := newWeighted(budget)
@@ -148,25 +221,32 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		}
 		return c
 	}
-	finish := func(t task, fromCache bool) {
+	finish := func(t task, fromCache bool, ferr error, attempts int) {
 		mu.Lock()
 		done++
-		if fromCache {
+		switch {
+		case ferr != nil:
+			failed++
+		case fromCache:
 			cached++
-		} else {
+		default:
 			executed++
 		}
-		// Progress counters are per-Run (Executed+Cached == Done); the
-		// runner-lifetime totals behind Counts() update separately.
+		// Progress counters are per-Run (Executed+Cached+Failed == Done);
+		// the runner-lifetime totals behind Counts() update separately.
 		p := Progress{
 			Done: done, Total: total,
-			Executed: executed, Cached: cached,
+			Executed: executed, Cached: cached, Failed: failed,
 			Key: results.KeyOf(t.cfg), Config: t.cfg, FromCache: fromCache,
+			Err: ferr, Attempts: attempts,
 		}
 		r.mu.Lock()
-		if fromCache {
+		switch {
+		case ferr != nil:
+			r.quarantined++
+		case fromCache:
 			r.cached++
-		} else {
+		default:
 			r.executed++
 		}
 		r.mu.Unlock()
@@ -174,6 +254,14 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 			r.OnProgress(p)
 		}
 		mu.Unlock()
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	attempts := 1 + r.Retries
+	if attempts < 1 {
+		attempts = 1
 	}
 
 	for _, t := range tasks {
@@ -184,11 +272,18 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 			break
 		}
 		// Cache lookup happens in the dispatcher, so hits cost no slot, no
-		// tokens, and no goroutine.
+		// tokens, and no goroutine. A cached quarantine record is a hit too:
+		// a resumed sweep skips the key instead of re-wedging on it.
 		if r.Store != nil && !t.cfg.Record {
 			if recs := r.Store.Get(results.KeyOf(t.cfg)); len(recs) > 0 {
+				if recs[0].Quarantined {
+					finish(t, true, fmt.Errorf("grid: %s: quarantined: %s",
+						results.Label(t.cfg), recs[0].Error), 0)
+					continue
+				}
 				perCfg[t.cfgIdx][t.trialIdx] = recs[0].Trial
-				finish(t, true)
+				okCfg[t.cfgIdx][t.trialIdx] = true
+				finish(t, true, nil, 0)
 				continue
 			}
 		}
@@ -202,30 +297,81 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 				tokens.release(w)
 				<-slots
 			}()
-			tr, err := bench.RunTrial(t.cfg)
-			if err == nil && r.Store != nil && !t.cfg.Record {
-				err = r.Store.Append(results.NewRecord(t.cfg, tr))
-			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+			// Bounded retry: trial failures (watchdog aborts, panics) are
+			// retried with doubling backoff, then quarantined — the sweep
+			// never stops for one bad configuration.
+			var (
+				tr   bench.TrialResult
+				terr error
+			)
+			n := 0
+			for delay := backoff; n < attempts; delay *= 2 {
+				tr, terr = runTrialSafe(t.cfg)
+				n++
+				if terr == nil {
+					break
 				}
-				mu.Unlock()
+				if n < attempts {
+					time.Sleep(delay)
+				}
+			}
+			if terr != nil {
+				if r.Store != nil && !t.cfg.Record {
+					rec := results.NewQuarantine(t.cfg, tr, terr)
+					if err := r.Store.Append(rec); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				finish(t, false, fmt.Errorf("grid: %s: %w", results.Label(t.cfg), terr), n)
 				return
 			}
+			if r.Store != nil && !t.cfg.Record {
+				if err := r.Store.Append(results.NewRecord(t.cfg, tr)); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
 			perCfg[t.cfgIdx][t.trialIdx] = tr
-			finish(t, false)
+			okCfg[t.cfgIdx][t.trialIdx] = true
+			finish(t, false, nil, n)
 		}(t, w)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if failed == total && total > 0 {
+		// Nothing at all succeeded: the sweep produced no data, which is an
+		// error (partial failure is not — quarantines carry the details).
+		first := results.Label(tasks[0].cfg)
+		return nil, fmt.Errorf("grid: all %d trials failed (first: %s)", total, first)
+	}
 
 	out := make([]bench.Summary, len(cfgs))
-	for i, cfg := range cfgs {
-		out[i] = bench.SummarizeTrials(cfg, perCfg[i])
+	for i, cfg := range eff {
+		// Summaries aggregate only successful trials; a config whose every
+		// trial was quarantined yields a zero summary carrying the config,
+		// so output stays index-aligned with the input.
+		good := perCfg[i][:0:0]
+		for j, tr := range perCfg[i] {
+			if okCfg[i][j] {
+				good = append(good, tr)
+			}
+		}
+		if len(good) == 0 {
+			out[i] = bench.Summary{Cfg: cfg}
+			continue
+		}
+		out[i] = bench.SummarizeTrials(cfg, good)
 	}
 	return out, nil
 }

@@ -31,15 +31,20 @@ type Spec struct {
 	// seed, ...). A zero Base means bench.DefaultWorkload.
 	Base bench.WorkloadConfig
 	// The sweep axes. Expansion order is scenarios (outermost), phase
-	// schedules, data structures, allocators, threads, batch sizes,
-	// reclaimers (innermost) — fixed and documented so rendered tables and
-	// stored artifacts are reproducible.
+	// schedules, fault plans, data structures, allocators, threads, batch
+	// sizes, reclaimers (innermost) — fixed and documented so rendered
+	// tables and stored artifacts are reproducible.
 	Scenarios []string
 	// PhaseSchedules is the phase-engine axis: each entry is one complete
 	// schedule (see bench.PhaseSpec) applied to WorkloadConfig.Phases.
 	// Empty inherits Base.Phases (usually none, i.e. unphased trials —
 	// though scenarios with default schedules still phase themselves).
 	PhaseSchedules [][]bench.PhaseSpec
+	// FaultPlans is the fault-injection axis: each entry is one complete
+	// plan (see bench.FaultSpec) applied to WorkloadConfig.Faults — a nil
+	// entry is the healthy control, so one sweep can carry faulted configs
+	// and their no-fault baselines side by side. Empty inherits Base.Faults.
+	FaultPlans     [][]bench.FaultSpec
 	DataStructures []string
 	Allocators     []string
 	Threads        []int
@@ -98,6 +103,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.PhaseSchedules) == 0 {
 		s.PhaseSchedules = [][]bench.PhaseSpec{s.Base.Phases}
+	}
+	if len(s.FaultPlans) == 0 {
+		s.FaultPlans = [][]bench.FaultSpec{s.Base.Faults}
 	}
 	if len(s.DataStructures) == 0 {
 		s.DataStructures = []string{s.Base.DataStructure}
@@ -158,6 +166,18 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	// Fault plans are validated against every thread count they will expand
+	// with, since explicit worker indices must stay in range.
+	for i, plan := range s.FaultPlans {
+		for _, threads := range s.Threads {
+			probe := s.Base
+			probe.Threads = threads
+			probe.Faults = plan
+			if err := bench.ValidateFaults(probe); err != nil {
+				return fmt.Errorf("grid: fault plan %d (threads=%d): %w", i, threads, err)
+			}
+		}
+	}
 	if s.Base.Duration <= 0 {
 		return fmt.Errorf("grid: duration %v must be positive", s.Base.Duration)
 	}
@@ -180,8 +200,9 @@ func validateNames(kind string, got, known []string) error {
 // Size returns the number of configurations the spec expands to.
 func (s Spec) Size() int {
 	s = s.withDefaults()
-	return len(s.Scenarios) * len(s.PhaseSchedules) * len(s.DataStructures) *
-		len(s.Allocators) * len(s.Threads) * len(s.BatchSizes) * len(s.Reclaimers)
+	return len(s.Scenarios) * len(s.PhaseSchedules) * len(s.FaultPlans) *
+		len(s.DataStructures) * len(s.Allocators) * len(s.Threads) *
+		len(s.BatchSizes) * len(s.Reclaimers)
 }
 
 // Expand materializes the cartesian product in the documented axis order.
@@ -190,20 +211,23 @@ func (s Spec) Expand() []bench.WorkloadConfig {
 	cfgs := make([]bench.WorkloadConfig, 0, s.Size())
 	for _, scenario := range s.Scenarios {
 		for _, phases := range s.PhaseSchedules {
-			for _, dsName := range s.DataStructures {
-				for _, alloc := range s.Allocators {
-					for _, threads := range s.Threads {
-						for _, batch := range s.BatchSizes {
-							for _, rec := range s.Reclaimers {
-								cfg := s.Base
-								cfg.Scenario = scenario
-								cfg.Phases = phases
-								cfg.DataStructure = dsName
-								cfg.Allocator = alloc
-								cfg.Threads = threads
-								cfg.BatchSize = batch
-								cfg.Reclaimer = rec
-								cfgs = append(cfgs, cfg)
+			for _, faults := range s.FaultPlans {
+				for _, dsName := range s.DataStructures {
+					for _, alloc := range s.Allocators {
+						for _, threads := range s.Threads {
+							for _, batch := range s.BatchSizes {
+								for _, rec := range s.Reclaimers {
+									cfg := s.Base
+									cfg.Scenario = scenario
+									cfg.Phases = phases
+									cfg.Faults = faults
+									cfg.DataStructure = dsName
+									cfg.Allocator = alloc
+									cfg.Threads = threads
+									cfg.BatchSize = batch
+									cfg.Reclaimer = rec
+									cfgs = append(cfgs, cfg)
+								}
 							}
 						}
 					}

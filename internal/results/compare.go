@@ -28,15 +28,33 @@ type Tolerances struct {
 	// ±5%) within which a group is classified unchanged; the boundary is
 	// inclusive. Zero or negative means the 0.05 default.
 	RelOps float64
+	// LimboFactor gates the robustness metric: a group whose mean peak
+	// limbo grew by more than this factor is regressed even when its
+	// throughput is unchanged (peak limbo is a garbage-bound property, so
+	// only growth regresses — shrinking limbo never flags). The gate is
+	// multiplicative because peak limbo spans orders of magnitude across
+	// schemes; throughput-style relative tolerances would be meaningless.
+	// Zero or negative means the 4.0 default.
+	LimboFactor float64
 }
 
-const defaultRelOps = 0.05
+const (
+	defaultRelOps      = 0.05
+	defaultLimboFactor = 4.0
+)
 
 func (t Tolerances) relOps() float64 {
 	if t.RelOps <= 0 {
 		return defaultRelOps
 	}
 	return t.RelOps
+}
+
+func (t Tolerances) limboFactor() float64 {
+	if t.LimboFactor <= 0 {
+		return defaultLimboFactor
+	}
+	return t.LimboFactor
 }
 
 // Delta is one configuration group's old-vs-new comparison.
@@ -54,17 +72,28 @@ type Delta struct {
 	// group is improved) so reports stay JSON-encodable.
 	Rel   float64 `json:"rel"`
 	Class Class   `json:"class"`
+	// LimboRatio is new/old mean peak limbo (0 when the old mean is zero).
+	// A ratio above Tolerances.LimboFactor marks the group regressed on the
+	// garbage bound regardless of throughput; LimboRegressed records that
+	// the limbo gate (not ops) drove the classification.
+	LimboRatio     float64 `json:"limbo_ratio,omitempty"`
+	LimboRegressed bool    `json:"limbo_regressed,omitempty"`
 }
 
 // Report is the full cross-store diff.
 type Report struct {
 	Tolerance float64 `json:"tolerance"`
-	Deltas    []Delta `json:"deltas"`
-	Improved  int     `json:"improved"`
-	Regressed int     `json:"regressed"`
-	Unchanged int     `json:"unchanged"`
-	OnlyOld   int     `json:"only_old"`
-	OnlyNew   int     `json:"only_new"`
+	// LimboTolerance is the peak-limbo growth factor the limbo gate used.
+	LimboTolerance float64 `json:"limbo_tolerance"`
+	Deltas         []Delta `json:"deltas"`
+	Improved       int     `json:"improved"`
+	Regressed      int     `json:"regressed"`
+	Unchanged      int     `json:"unchanged"`
+	OnlyOld        int     `json:"only_old"`
+	OnlyNew        int     `json:"only_new"`
+	// Quarantined is the number of quarantined trials in the new store —
+	// configurations that failed permanently rather than measuring badly.
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // classify applies the tolerance to a both-sides delta. The boundary is
@@ -91,7 +120,10 @@ func classify(oldMean, newMean, tol float64) (rel float64, class Class) {
 // configuration as improved, regressed, unchanged, or present on one side
 // only. Deltas are sorted by label for deterministic reports.
 func Compare(oldStore, newStore *Store, tol Tolerances) Report {
-	rep := Report{Tolerance: tol.relOps()}
+	rep := Report{Tolerance: tol.relOps(), LimboTolerance: tol.limboFactor()}
+	for _, s := range newStore.Summaries() {
+		rep.Quarantined += s.Quarantined
+	}
 	oldSums := map[string]Summary{}
 	for _, s := range oldStore.Summaries() {
 		oldSums[s.Group] = s
@@ -105,6 +137,16 @@ func Compare(oldStore, newStore *Store, tol Tolerances) Report {
 		if n, ok := newSums[group]; ok {
 			d.New, d.HasNew = n, true
 			d.Rel, d.Class = classify(o.MeanOps, n.MeanOps, rep.Tolerance)
+			// The limbo gate: a garbage-bound blowup is a regression even at
+			// identical throughput — it is exactly the failure mode a stalled
+			// thread exposes.
+			if o.MeanPeakLimbo > 0 {
+				d.LimboRatio = n.MeanPeakLimbo / o.MeanPeakLimbo
+				if d.LimboRatio > rep.LimboTolerance && d.Class != ClassRegressed {
+					d.Class = ClassRegressed
+					d.LimboRegressed = true
+				}
+			}
 		} else {
 			d.Class = ClassOnlyOld
 		}
@@ -145,9 +187,9 @@ func Compare(oldStore, newStore *Store, tol Tolerances) Report {
 func (r Report) String() string {
 	var sb strings.Builder
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "config\told ops/s\tnew ops/s\tdelta\tclass")
+	fmt.Fprintln(w, "config\told ops/s\tnew ops/s\tdelta\tlimbo×\tclass")
 	for _, d := range r.Deltas {
-		oldOps, newOps, delta := "-", "-", "-"
+		oldOps, newOps, delta, limbo := "-", "-", "-", "-"
 		if d.HasOld {
 			oldOps = fmt.Sprintf("%.0f", d.Old.MeanOps)
 		}
@@ -156,12 +198,19 @@ func (r Report) String() string {
 		}
 		if d.HasOld && d.HasNew {
 			delta = fmt.Sprintf("%+.1f%%", 100*d.Rel)
+			if d.LimboRatio > 0 {
+				limbo = fmt.Sprintf("%.2f", d.LimboRatio)
+			}
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", d.Label, oldOps, newOps, delta, d.Class)
+		class := string(d.Class)
+		if d.LimboRegressed {
+			class += " (limbo)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", d.Label, oldOps, newOps, delta, limbo, class)
 	}
 	w.Flush()
 	fmt.Fprintf(&sb,
-		"tolerance ±%.1f%%: %d improved, %d regressed, %d unchanged, %d only-old, %d only-new\n",
-		100*r.Tolerance, r.Improved, r.Regressed, r.Unchanged, r.OnlyOld, r.OnlyNew)
+		"tolerance ±%.1f%% ops, %.1f× limbo: %d improved, %d regressed, %d unchanged, %d only-old, %d only-new, %d quarantined\n",
+		100*r.Tolerance, r.LimboTolerance, r.Improved, r.Regressed, r.Unchanged, r.OnlyOld, r.OnlyNew, r.Quarantined)
 	return sb.String()
 }

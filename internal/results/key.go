@@ -36,7 +36,14 @@ import (
 // engine's schedule) and the BurstOps rename of PhaseOps, TrialResult
 // gained Phases, and smr.Stats gained the Joins/Leaves/Adopted lifecycle
 // counters — the record layout and the hashed config both changed.
-const SchemaVersion = 3
+//
+// v4: fault injection and robustness. WorkloadConfig gained Faults (hashed
+// — a faulted trial is a different experiment) and Deadline (normalized
+// away — a watchdog never changes a healthy trial's measurements),
+// TrialResult gained PeakLimbo/PctStall/Faults/Error, smr.Stats gained
+// PeakLimbo/StallNanos/StallWaits/ClockReads, and Record gained the
+// quarantine fields.
+const SchemaVersion = 4
 
 // Normalize fills the configuration defaults that the harness would apply
 // at run time (RunTrial, NewStack, smr.Config.fillDefaults), so that a
@@ -78,6 +85,14 @@ func Normalize(cfg bench.WorkloadConfig) bench.WorkloadConfig {
 	if len(cfg.Phases) == 0 {
 		cfg.Phases = nil
 	}
+	// Same folding for an empty fault plan. A non-empty plan hashes as-is:
+	// injected faults change what the trial measures. The watchdog deadline
+	// does not — it only bounds how long a wedged trial may hang — so it is
+	// zeroed: a sweep run with or without -deadline shares its cache.
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = nil
+	}
+	cfg.Deadline = 0
 	// YieldEvery needs no normalization: 0 is the auto yield policy, a real
 	// configuration distinct from every explicit stride. FixedOps and
 	// LegacyDispatch likewise hash as-is — a fixed-op trial and a wall-clock
@@ -145,6 +160,9 @@ func Label(cfg bench.WorkloadConfig) string {
 		n.Scenario, n.DataStructure, n.Allocator, n.Reclaimer, n.Threads, n.BatchSize)
 	if len(n.Phases) > 0 {
 		label += "/" + bench.FormatPhases(n.Phases)
+	}
+	if len(n.Faults) > 0 {
+		label += "/" + bench.FormatFaults(n.Faults)
 	}
 	return label
 }

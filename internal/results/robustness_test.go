@@ -1,0 +1,188 @@
+package results
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestQuarantineRecordRoundTrip(t *testing.T) {
+	cfg := testConfig(2, 9)
+	tr := bench.TrialResult{Scenario: cfg.Scenario, Seed: cfg.Seed, Error: "bench: watchdog: no op progress"}
+	rec := NewQuarantine(cfg, tr, errors.New("bench: watchdog: no op progress"))
+	if !rec.Quarantined || rec.Error == "" {
+		t.Fatalf("NewQuarantine = %+v", rec)
+	}
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Get(rec.Key)
+	if len(got) != 1 || !got[0].Quarantined || !strings.Contains(got[0].Error, "watchdog") {
+		t.Fatalf("reloaded quarantine = %+v", got)
+	}
+}
+
+func TestQuarantineErrorFallbacks(t *testing.T) {
+	cfg := testConfig(2, 9)
+	// No error value: the trial's own Error string is used.
+	rec := NewQuarantine(cfg, bench.TrialResult{Error: "wedged"}, nil)
+	if rec.Error != "wedged" {
+		t.Fatalf("Error = %q, want trial error", rec.Error)
+	}
+	// Neither: a placeholder, never an empty reason.
+	rec = NewQuarantine(cfg, bench.TrialResult{}, nil)
+	if rec.Error == "" {
+		t.Fatal("quarantine with empty reason")
+	}
+}
+
+func TestSummariesExcludeQuarantined(t *testing.T) {
+	st := NewMemStore()
+	cfg := testConfig(2, 1)
+	good := cfg
+	good.Seed = 1
+	if err := st.Append(NewRecord(good, bench.TrialResult{Seed: 1, OpsPerSec: 100, PeakLimbo: 50})); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Seed = 2 // same group (seed excluded from GroupKey), different trial
+	if err := st.Append(NewQuarantine(bad, bench.TrialResult{Seed: 2, OpsPerSec: 1e9}, errors.New("wedged"))); err != nil {
+		t.Fatal(err)
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1 group", len(sums))
+	}
+	s := sums[0]
+	if s.N != 1 || s.Quarantined != 1 {
+		t.Fatalf("n=%d quarantined=%d, want 1/1", s.N, s.Quarantined)
+	}
+	if s.MeanOps != 100 || s.MeanPeakLimbo != 50 {
+		t.Fatalf("quarantined trial poisoned the means: ops=%v limbo=%v", s.MeanOps, s.MeanPeakLimbo)
+	}
+}
+
+func TestSummariesAllQuarantinedGroup(t *testing.T) {
+	st := NewMemStore()
+	cfg := testConfig(2, 3)
+	if err := st.Append(NewQuarantine(cfg, bench.TrialResult{}, errors.New("wedged"))); err != nil {
+		t.Fatal(err)
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.N != 0 || s.Quarantined != 1 || s.MeanOps != 0 {
+		t.Fatalf("all-quarantined group = %+v, want identity-only", s)
+	}
+	if s.Label == "" || s.Group == "" {
+		t.Fatalf("all-quarantined group lost its identity: %+v", s)
+	}
+}
+
+func TestKeyIgnoresDeadlineHashesFaults(t *testing.T) {
+	base := testConfig(4, 7)
+	withDeadline := base
+	withDeadline.Deadline = 30 * time.Second
+	if KeyOf(base) != KeyOf(withDeadline) {
+		t.Fatal("watchdog deadline changed the trial key (it does not affect measured work)")
+	}
+	faulted := base
+	var err error
+	faulted.Faults, err = bench.ParseFaults("stall:w0@4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KeyOf(base) == KeyOf(faulted) {
+		t.Fatal("fault plan did not change the trial key (a faulted trial is a different experiment)")
+	}
+	if !strings.Contains(Label(faulted), "stall:w0@4096") {
+		t.Fatalf("label %q does not carry the fault plan", Label(faulted))
+	}
+	// nil and empty plans are the same experiment.
+	empty := base
+	empty.Faults = []bench.FaultSpec{}
+	if KeyOf(base) != KeyOf(empty) {
+		t.Fatal("empty fault plan keyed differently from nil")
+	}
+}
+
+// addLimboGroup appends one record with both a throughput and a peak-limbo
+// reading, for the limbo-gate comparisons.
+func addLimboGroup(t *testing.T, st *Store, reclaimer string, ops float64, limbo int64) {
+	t.Helper()
+	cfg := testConfig(2, 1)
+	cfg.Reclaimer = reclaimer
+	if err := st.Append(NewRecord(cfg, bench.TrialResult{
+		Scenario: cfg.Scenario, Seed: cfg.Seed, OpsPerSec: ops, PeakLimbo: limbo,
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareLimboGate(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	// Throughput steady, limbo blown up 10x: the ops gate alone would say
+	// "unchanged"; the limbo gate must flag the regression.
+	addLimboGroup(t, oldSt, "debra", 100, 1000)
+	addLimboGroup(t, newSt, "debra", 100, 10000)
+	// Limbo within the 4x default factor: not a regression.
+	addLimboGroup(t, oldSt, "hp", 100, 1000)
+	addLimboGroup(t, newSt, "hp", 100, 2000)
+	// Limbo shrinking is never a regression.
+	addLimboGroup(t, oldSt, "ibr", 100, 1000)
+	addLimboGroup(t, newSt, "ibr", 100, 10)
+
+	rep := Compare(oldSt, newSt, Tolerances{})
+	d := findDelta(t, rep, "debra")
+	if d.Class != ClassRegressed || !d.LimboRegressed {
+		t.Fatalf("limbo blowup not gated: %+v", d)
+	}
+	if d.LimboRatio < 9.9 || d.LimboRatio > 10.1 {
+		t.Fatalf("limbo ratio = %v, want ~10", d.LimboRatio)
+	}
+	if d := findDelta(t, rep, "hp"); d.Class != ClassUnchanged || d.LimboRegressed {
+		t.Fatalf("within-factor limbo growth misclassified: %+v", d)
+	}
+	if d := findDelta(t, rep, "ibr"); d.Class != ClassUnchanged || d.LimboRegressed {
+		t.Fatalf("limbo shrink misclassified: %+v", d)
+	}
+	if !strings.Contains(rep.String(), "limbo") {
+		t.Fatal("report text missing the limbo column")
+	}
+}
+
+func TestCompareCountsQuarantines(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	addLimboGroup(t, oldSt, "debra", 100, 100)
+	addLimboGroup(t, newSt, "debra", 100, 100)
+	cfg := testConfig(2, 2)
+	cfg.Reclaimer = "hp"
+	if err := newSt.Append(NewQuarantine(cfg, bench.TrialResult{}, errors.New("wedged"))); err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(oldSt, newSt, Tolerances{})
+	if rep.Quarantined != 1 {
+		t.Fatalf("report quarantined = %d, want 1", rep.Quarantined)
+	}
+	if !strings.Contains(rep.String(), "quarantined") {
+		t.Fatal("report text missing quarantine count")
+	}
+}

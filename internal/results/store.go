@@ -31,8 +31,18 @@ type Record struct {
 	Seed uint64 `json:"seed"`
 	// Config is the normalized workload configuration.
 	Config bench.WorkloadConfig `json:"config"`
-	// Trial is the measured result (timeline recorder excluded).
+	// Trial is the measured result (timeline recorder excluded). For a
+	// quarantined record it is partial: identification fields plus whatever
+	// the aborted trial could still report.
 	Trial bench.TrialResult `json:"trial"`
+	// Quarantined marks a trial that failed permanently (watchdog abort
+	// after retries, panic, or error). Quarantine records are cache entries
+	// like any other — a resumed sweep skips the key instead of re-wedging —
+	// but they are excluded from Summaries and counted separately by
+	// Compare.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Error is the failure reason of a quarantined record.
+	Error string `json:"error,omitempty"`
 }
 
 // NewRecord builds the Record for an executed trial. The configuration is
@@ -50,6 +60,25 @@ func NewRecord(cfg bench.WorkloadConfig, tr bench.TrialResult) Record {
 		Config: n,
 		Trial:  tr,
 	}
+}
+
+// NewQuarantine builds the quarantine Record for a trial that failed
+// permanently. tr may be the partial result an aborted trial returned (its
+// Error field is filled in if empty); err supplies the reason.
+func NewQuarantine(cfg bench.WorkloadConfig, tr bench.TrialResult, err error) Record {
+	rec := NewRecord(cfg, tr)
+	rec.Quarantined = true
+	if err != nil {
+		rec.Error = err.Error()
+	} else if tr.Error != "" {
+		rec.Error = tr.Error
+	} else {
+		rec.Error = "unknown failure"
+	}
+	if rec.Trial.Error == "" {
+		rec.Trial.Error = rec.Error
+	}
+	return rec
 }
 
 // Store holds trial records indexed by TrialKey, optionally backed by a

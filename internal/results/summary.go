@@ -36,17 +36,50 @@ type Summary struct {
 	MeanPctFree  float64 `json:"mean_pct_free"`
 	MeanPctFlush float64 `json:"mean_pct_flush"`
 	MeanPctLock  float64 `json:"mean_pct_lock"`
+	// MeanPeakLimbo is the mean unreclaimed-object high-water mark — the
+	// robustness metric: under a stalled-thread fault it stays bounded for
+	// hazard-family schemes and blows up for epoch-based ones.
+	MeanPeakLimbo float64 `json:"mean_peak_limbo"`
+	// MeanPctStall is the mean share of thread-time in blocking grace-period
+	// waits.
+	MeanPctStall float64 `json:"mean_pct_stall"`
+	// Quarantined counts this group's quarantined (permanently failed)
+	// trials; they are excluded from every statistic above and from N.
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // summarize reduces one group's records. recs must be non-empty.
-func summarize(recs []Record) Summary {
+// Quarantined records are counted but contribute to no statistic — a
+// wedged trial's partial numbers would poison the means. A group that is
+// all quarantine keeps its identity fields with zero statistics.
+func summarize(all []Record) Summary {
+	recs := make([]Record, 0, len(all))
+	quarantined := 0
+	for _, r := range all {
+		if r.Quarantined {
+			quarantined++
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 {
+		s := Summary{
+			Group:       all[0].Group,
+			Label:       Label(all[0].Config),
+			Config:      all[0].Config,
+			Quarantined: quarantined,
+		}
+		s.Config.Seed = 0
+		return s
+	}
 	s := Summary{
-		Group:  recs[0].Group,
-		Label:  Label(recs[0].Config),
-		Config: recs[0].Config,
-		N:      len(recs),
-		MinOps: recs[0].Trial.OpsPerSec,
-		MaxOps: recs[0].Trial.OpsPerSec,
+		Group:       recs[0].Group,
+		Label:       Label(recs[0].Config),
+		Config:      recs[0].Config,
+		N:           len(recs),
+		Quarantined: quarantined,
+		MinOps:      recs[0].Trial.OpsPerSec,
+		MaxOps:      recs[0].Trial.OpsPerSec,
 	}
 	s.Config.Seed = 0
 	for _, r := range recs {
@@ -57,6 +90,8 @@ func summarize(recs []Record) Summary {
 		s.MeanPctFree += r.Trial.PctFree
 		s.MeanPctFlush += r.Trial.PctFlush
 		s.MeanPctLock += r.Trial.PctLock
+		s.MeanPeakLimbo += float64(r.Trial.PeakLimbo)
+		s.MeanPctStall += r.Trial.PctStall
 		if ops < s.MinOps {
 			s.MinOps = ops
 		}
@@ -70,6 +105,8 @@ func summarize(recs []Record) Summary {
 	s.MeanPctFree /= n
 	s.MeanPctFlush /= n
 	s.MeanPctLock /= n
+	s.MeanPeakLimbo /= n
+	s.MeanPctStall /= n
 	if len(recs) > 1 {
 		var ss float64
 		for _, r := range recs {

@@ -1,0 +1,102 @@
+package smr
+
+import "sync/atomic"
+
+// Trial diagnostics.
+//
+// When the harness watchdog aborts a wedged trial it needs to say *why*:
+// which participant slot stopped making reclamation progress, how much
+// limbo it is sitting on, and whether the scheme's grace-period machinery
+// was waiting on a stalled announcement. Diag is that snapshot — cheap,
+// read-only, and safe to take while worker goroutines are still running
+// (every field it reads is an atomic the owners update).
+
+// SlotDiag is one participant slot's view at capture time.
+type SlotDiag struct {
+	// Slot is the participant slot (tid).
+	Slot int
+	// Live reports whether the slot is currently occupied. A live slot
+	// with a large Limbo and no recent Freed growth is the classic
+	// stalled-thread signature for epoch-based schemes.
+	Live bool
+	// Retired/Freed/Limbo are the slot's lifecycle counters.
+	Retired, Freed, Limbo int64
+}
+
+// Diag is a reclaimer-wide diagnostic snapshot.
+type Diag struct {
+	// Scheme is the reclaimer's registry name.
+	Scheme string
+	// Epochs is the global epoch / grace-period / scan-round counter. A
+	// wedged trial shows it frozen while Limbo grows.
+	Epochs int64
+	// Limbo and PeakLimbo are the current and high-water unreclaimed
+	// object counts.
+	Limbo, PeakLimbo int64
+	// StallNanos/StallWaits mirror Stats: time spent in blocking
+	// grace-period waits.
+	StallNanos, StallWaits int64
+	// OrphanObjects counts limbo objects abandoned by departed (or
+	// crashed) participants, still awaiting adoption.
+	OrphanObjects int64
+	// Slots holds the per-slot breakdown.
+	Slots []SlotDiag
+}
+
+// Diagnosable is implemented by every reclaimer in this package. It is a
+// separate interface (not part of Reclaimer) so external Reclaimer
+// implementations remain possible; use DiagnoseOf to capture through
+// wrappers.
+type Diagnosable interface {
+	Diagnose() Diag
+}
+
+// DiagnoseOf captures a diagnostic snapshot from r, unwrapping the
+// LegacyDispatch shim if present. ok is false when r (after unwrapping)
+// does not support diagnostics.
+func DiagnoseOf(r Reclaimer) (Diag, bool) {
+	if l, isLegacy := r.(legacyReclaimer); isLegacy {
+		r = l.Reclaimer
+	}
+	d, ok := r.(Diagnosable)
+	if !ok {
+		return Diag{}, false
+	}
+	return d.Diagnose(), true
+}
+
+// diag builds the env-level snapshot shared by every scheme.
+func (e *env) diag(scheme string) Diag {
+	d := Diag{
+		Scheme:        scheme,
+		Epochs:        e.epochs.Load(),
+		Limbo:         e.limboNow.v.Load(),
+		PeakLimbo:     e.limboPeak.v.Load(),
+		StallNanos:    e.stallNanos.Load(),
+		StallWaits:    e.stallWaits.Load(),
+		OrphanObjects: e.reg.orphanCount.Load(),
+		Slots:         make([]SlotDiag, len(e.ctr)),
+	}
+	for i := range e.ctr {
+		d.Slots[i] = SlotDiag{
+			Slot:    i,
+			Live:    e.reg.isLive(i),
+			Retired: atomic.LoadInt64(&e.ctr[i].retired),
+			Freed:   atomic.LoadInt64(&e.ctr[i].freed),
+			Limbo:   atomic.LoadInt64(&e.ctr[i].limbo),
+		}
+	}
+	return d
+}
+
+// Diagnose implements Diagnosable for every reclaimer in the registry.
+
+func (d *DEBRA) Diagnose() Diag { return d.e.diag(d.Name()) }
+func (q *QSBR) Diagnose() Diag  { return q.e.diag(q.Name()) }
+func (r *RCU) Diagnose() Diag   { return r.e.diag(r.Name()) }
+func (h *HP) Diagnose() Diag    { return h.e.diag(h.Name()) }
+func (h *HE) Diagnose() Diag    { return h.e.diag(h.Name()) }
+func (i *IBR) Diagnose() Diag   { return i.e.diag(i.Name()) }
+func (n *NBR) Diagnose() Diag   { return n.e.diag(n.Name()) }
+func (t *Token) Diagnose() Diag { return t.e.diag(t.Name()) }
+func (n *None) Diagnose() Diag  { return n.e.diag(n.Name()) }

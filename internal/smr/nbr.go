@@ -3,6 +3,7 @@ package smr
 import (
 	"runtime"
 
+	"repro/internal/clock"
 	"repro/internal/simalloc"
 )
 
@@ -136,6 +137,9 @@ func (n *NBR) Retire(tid int, o *simalloc.Object) {
 
 // neutralize starts a round and waits for every thread to acknowledge it.
 func (n *NBR) neutralize(tid int) {
+	// Reclamation-stall accounting, as in RCU.synchronize: the
+	// acknowledgement wait is NBR's blocking grace period.
+	defer n.e.noteStallWait(clock.Now())
 	r := n.round.v.Add(1)
 	n.acks[tid].v.Store(r)
 	for t := 0; t < n.e.cfg.Threads; t++ {

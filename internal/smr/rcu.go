@@ -3,6 +3,7 @@ package smr
 import (
 	"runtime"
 
+	"repro/internal/clock"
 	"repro/internal/simalloc"
 )
 
@@ -106,6 +107,11 @@ func (r *RCU) Retire(tid int, o *simalloc.Object) {
 // critical section it was in when synchronize began — or is itself parked
 // in synchronize (see rcuThread.syncing).
 func (r *RCU) synchronize(tid int) {
+	// Reclamation-stall accounting: the whole synchronize is a blocking
+	// wait in the operation path, the latency the paper's batch-free
+	// critique is about. Once per filled bag, so the stamps are cheap and
+	// counted (Stats.ClockReads).
+	defer r.e.noteStallWait(clock.Now())
 	me := &r.th[tid]
 	me.syncing.v.Store(1)
 	defer me.syncing.v.Store(0)

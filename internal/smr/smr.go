@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/clock"
 	"repro/internal/simalloc"
 	"repro/internal/timeline"
 )
@@ -90,6 +91,21 @@ type Stats struct {
 	// orphaned limbo objects re-homed by surviving participants. All three
 	// stay zero in fixed-population trials.
 	Joins, Leaves, Adopted int64
+	// PeakLimbo is the high-water mark of Limbo over the trial: the most
+	// retired-but-unfreed objects that ever coexisted. It is the paper's
+	// bounded-garbage dichotomy as a single number — a stalled or crashed
+	// thread holds it near BatchSize for hazard-family schemes but lets it
+	// grow with trial length for epoch-based ones.
+	PeakLimbo int64
+	// StallNanos is host wall time spent inside blocking grace-period waits
+	// (RCU synchronize, NBR neutralization rounds), and StallWaits counts
+	// them. Non-blocking schemes leave both zero: their reclamation stalls
+	// show up as PeakLimbo growth instead.
+	StallNanos, StallWaits int64
+	// ClockReads counts the clock.Now stamps the stall instrumentation
+	// takes (two per blocking wait); the harness adds it to the exact
+	// host-overhead self-report.
+	ClockReads int64
 }
 
 // Config carries construction parameters shared by all reclaimers.
@@ -198,6 +214,18 @@ type env struct {
 	reg    *participants
 	epochs atomic.Int64
 
+	// limboNow mirrors the per-thread limbo sum on one shared counter so
+	// noteRetire can maintain limboPeak, the global unreclaimed-object
+	// high-water (Stats.PeakLimbo). Both are padded: every retire touches
+	// them from every thread.
+	limboNow  pad64
+	limboPeak pad64
+
+	// Blocking grace-period wait accounting (slow paths only).
+	stallNanos atomic.Int64
+	stallWaits atomic.Int64
+	clockReads atomic.Int64
+
 	// glogMu serializes garbage-log samples (rare: once per epoch change).
 	glogMu sync.Mutex
 }
@@ -221,11 +249,37 @@ func (e *env) stopped() bool {
 func (e *env) noteRetire(tid int) {
 	atomic.AddInt64(&e.ctr[tid].retired, 1)
 	atomic.AddInt64(&e.ctr[tid].limbo, 1)
+	if n := e.limboNow.v.Add(1); n > e.limboPeak.v.Load() {
+		e.raisePeak(n)
+	}
+}
+
+// raisePeak lifts the limbo high-water to n. Out of line so noteRetire's
+// common case (not at a new high-water) stays a load + compare.
+func (e *env) raisePeak(n int64) {
+	for {
+		p := e.limboPeak.v.Load()
+		if n <= p || e.limboPeak.v.CompareAndSwap(p, n) {
+			return
+		}
+	}
 }
 
 func (e *env) noteFree(tid int, n int64) {
 	atomic.AddInt64(&e.ctr[tid].freed, n)
 	atomic.AddInt64(&e.ctr[tid].limbo, -n)
+	e.limboNow.v.Add(-n)
+}
+
+// noteStallWait accounts one blocking grace-period wait that began at the
+// clock.Now stamp t0. Called (via defer) from RCU synchronize and NBR
+// neutralization — once per filled bag, never on the per-op path — and its
+// two stamps per wait are counted so the harness's host-overhead
+// self-report stays exact.
+func (e *env) noteStallWait(t0 int64) {
+	e.stallNanos.Add(clock.Now() - t0)
+	e.stallWaits.Add(1)
+	e.clockReads.Add(2)
 }
 
 // totalLimbo sums unreclaimed garbage across threads; used for the paper's
@@ -260,6 +314,10 @@ func (e *env) stats() Stats {
 	s.Joins = e.reg.joins.Load()
 	s.Leaves = e.reg.leaves.Load()
 	s.Adopted = e.reg.adopted.Load()
+	s.PeakLimbo = e.limboPeak.v.Load()
+	s.StallNanos = e.stallNanos.Load()
+	s.StallWaits = e.stallWaits.Load()
+	s.ClockReads = e.clockReads.Load()
 	return s
 }
 

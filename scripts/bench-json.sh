@@ -73,6 +73,37 @@ go run ./cmd/epochgrid \
   -dur "$grid_dur" -keyrange 4096 -trials 2 \
   -format json -out "$tmpdir/grid.json"
 
+# Robustness sweep: one epoch-based and one hazard-family reclaimer, each
+# healthy and with a stalled reader injected, so the artifact records the
+# peak-limbo blowup ratio per scheme — the paper's bounded-garbage
+# dichotomy as a tracked number (epoch blowup large and growing with the
+# stall span; hazard blowup ~1).
+go run ./cmd/epochgrid \
+  -reclaimers debra,hp -threads 4 -faults "none;stall:w0@512~16384" \
+  -ops 8000 -keyrange 4096 -batches 128 -deadline 30s -trials 1 \
+  -format json -out "$tmpdir/robustness-grid.json"
+
+read -r debra_healthy debra_faulted hp_healthy hp_faulted <<EOF2
+$(awk '
+  /"faults":/ { faulted = 1 }
+  /"reclaimer":/ { rec = $2; gsub(/[",]/, "", rec) }
+  /"mean_peak_limbo":/ {
+    v = $2; gsub(/,/, "", v)
+    limbo[rec (faulted ? "_faulted" : "_healthy")] = v
+    faulted = 0
+  }
+  END { print limbo["debra_healthy"], limbo["debra_faulted"], limbo["hp_healthy"], limbo["hp_faulted"] }
+' "$tmpdir/robustness-grid.json")
+EOF2
+if [ -z "${hp_faulted:-}" ]; then
+  echo "bench-json: robustness sweep produced no limbo numbers" >&2
+  exit 1
+fi
+debra_blowup="$(awk -v h="$debra_healthy" -v f="$debra_faulted" 'BEGIN { printf "%.2f", f / (h > 1 ? h : 1) }')"
+hp_blowup="$(awk -v h="$hp_healthy" -v f="$hp_faulted" 'BEGIN { printf "%.2f", f / (h > 1 ? h : 1) }')"
+printf 'robustness: stalled-reader peak-limbo blowup debra %s x (healthy %s -> faulted %s), hp %s x (healthy %s -> faulted %s)\n' \
+  "$debra_blowup" "$debra_healthy" "$debra_faulted" "$hp_blowup" "$hp_healthy" "$hp_faulted"
+
 # Recording-overhead comparison: recorded vs unrecorded end-to-end trials,
 # side by side. Three counts each; best-of scoring (see header comment).
 rec_raw="$(go test -run=NONE -bench='BenchmarkTrial(Unrecorded|Recorded|Paired)$' \
@@ -133,6 +164,8 @@ gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
     "$goversion" "$gomaxprocs" "$cpus" "$(go env GOOS)" "$(go env GOARCH)"
   printf '  "recording": {"benchtime": "%s", "unrecorded": {"simops_per_s": %s, "pct_host": %s}, "recorded": {"simops_per_s": %s, "pct_host": %s}, "paired_ratio_pct": %s, "paired_pct_host": %s},\n' \
     "$rectime" "$unrec_ops" "$unrec_pct" "$rec_ops" "$rec_pct" "$pair_ratio" "$pair_pct"
+  printf '  "robustness": {"faults": "stall:w0@512~16384", "debra": {"healthy_peak_limbo": %s, "faulted_peak_limbo": %s, "blowup": %s}, "hp": {"healthy_peak_limbo": %s, "faulted_peak_limbo": %s, "blowup": %s}},\n' \
+    "$debra_healthy" "$debra_faulted" "$debra_blowup" "$hp_healthy" "$hp_faulted" "$hp_blowup"
   printf '  "benchmarks": '
   cat "$tmpdir/benchmarks.json"
   printf ',\n  "grid": '
