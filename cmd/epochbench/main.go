@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 	"repro/internal/grid"
 	"repro/internal/results"
@@ -50,6 +51,7 @@ func realMain() int {
 		scenario   = flag.String("scenario", "", "workload scenario (default \"paper\"; see -list)")
 		phases     = flag.String("phases", "", "phase schedule applied to every trial: comma-separated [scenario:]LIVExOPS (e.g. \"4x2000,2x2000\")")
 		faults     = flag.String("faults", "", "fault plan applied to every trial: comma-separated kind:wW@AT[~SPAN][/EVERY][xFACTOR] (e.g. \"stall:w0@4096\")")
+		arrivalStr = flag.String("arrival", "", "arrival process applied to every trial: KIND:RATE[@PERIOD][~PARAM] (e.g. \"poisson:150000\"); empty or \"none\" = closed loop")
 		deadline   = flag.Duration("deadline", 0, "per-trial watchdog deadline: abort a trial whose op progress stalls this long (0 = no watchdog)")
 		retries    = flag.Int("retries", 0, "re-execute a failed trial this many times before quarantining it")
 		all        = flag.Bool("all", false, "run every registered experiment")
@@ -195,6 +197,16 @@ func realMain() int {
 		Faults:   faultPlan,
 		Deadline: *deadline,
 		RunGrid:  runner.GridFunc(),
+	}
+	if *arrivalStr != "" {
+		sp, err := arrival.Parse(*arrivalStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epochbench: -arrival: %v\n", err)
+			return 2
+		}
+		if !sp.IsZero() {
+			opts.Arrival = arrival.Format(sp)
+		}
 	}
 	if *phases != "" {
 		ph, err := bench.ParsePhases(*phases)

@@ -20,12 +20,22 @@
 // after -retries re-executions are quarantined in the store (resume skips
 // them; the sweep keeps going; exit code 3 reports quarantines).
 //
+// Open-system sweeps drive workers from an arrival process and measure
+// modeled queueing latency (admission to completion):
+//
+//	epochgrid -reclaimers debra,hp -arrivals "none;poisson:150000" \
+//	    -faults "none;stall:w0@5000~60000" -dur 600ms -store results.jsonl
+//
+// crosses closed-loop controls with open-system configs; summaries then
+// carry pooled p99/p999 latency columns in every output format.
+//
 // Regression diff between two stores:
 //
-//	epochgrid -compare old.jsonl -with new.jsonl -tol 0.05
+//	epochgrid -compare old.jsonl -with new.jsonl -tol 0.05 -lat-tol 4
 //
-// exits 1 when any configuration regressed beyond the tolerance, which is
-// what the CI gate keys off.
+// exits 1 when any configuration regressed beyond the tolerance — mean
+// throughput outside ±tol, peak limbo grown past -limbo-tol, or p999
+// latency grown past -lat-tol — which is what the CI gate keys off.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 	"repro/internal/ds"
 	"repro/internal/grid"
@@ -63,6 +74,7 @@ func realMain() int {
 		batches    = flag.String("batches", "", "comma-separated limbo batch-size axis (default: 2048)")
 		trials     = flag.Int("trials", 1, "trials per configuration (seed chain)")
 		faultsFlag = flag.String("faults", "", "fault-plan axis: plans separated by ';', each comma-separated kind:wW@AT[~SPAN][/EVERY][xFACTOR] (empty segment or \"none\" = healthy control, e.g. \"none;stall:w0@4096\")")
+		arrFlag    = flag.String("arrivals", "", "arrival-process axis: processes separated by ';', each KIND:RATE[@PERIOD][~PARAM] (empty segment or \"none\" = closed-loop control, e.g. \"none;poisson:150000\"); see -list")
 		deadline   = flag.Duration("deadline", 0, "per-trial watchdog deadline: abort a trial whose op progress stalls this long (0 = no watchdog)")
 		retries    = flag.Int("retries", 0, "re-execute a failed trial this many times before quarantining it")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
@@ -79,6 +91,7 @@ func realMain() int {
 		compareNew = flag.String("with", "", "diff mode: path of the new store (required with -compare)")
 		tol        = flag.Float64("tol", 0.05, "relative mean-ops tolerance for unchanged classification")
 		limboTol   = flag.Float64("limbo-tol", 0, "diff mode: peak-limbo growth factor beyond which a group regresses (0 = default 4.0)")
+		latTol     = flag.Float64("lat-tol", 0, "diff mode: p999 modeled-latency growth factor beyond which a group regresses (0 = default 4.0)")
 	)
 	flag.Parse()
 
@@ -87,11 +100,16 @@ func realMain() int {
 		fmt.Printf("data structures: %s\n", strings.Join(ds.Names(), ", "))
 		fmt.Printf("allocators:      %s\n", strings.Join(grid.Allocators(), ", "))
 		fmt.Printf("reclaimers:      %s\n", strings.Join(smr.Names(), ", "))
+		syntaxes := make([]string, 0, len(arrival.Names()))
+		for _, k := range arrival.Names() {
+			syntaxes = append(syntaxes, arrival.Syntax(k))
+		}
+		fmt.Printf("arrivals:        %s\n", strings.Join(syntaxes, ", "))
 		return 0
 	}
 
 	if *compareOld != "" || *compareNew != "" {
-		return runCompare(*compareOld, *compareNew, *tol, *limboTol, *format, *outPath)
+		return runCompare(*compareOld, *compareNew, *tol, *limboTol, *latTol, *format, *outPath)
 	}
 
 	spec := grid.Spec{
@@ -125,6 +143,24 @@ func realMain() int {
 				return 2
 			}
 			spec.FaultPlans = append(spec.FaultPlans, fs)
+		}
+	}
+	if strings.TrimSpace(*arrFlag) != "" {
+		for _, a := range strings.Split(*arrFlag, ";") {
+			// Same convention: an empty segment (or "none") is the
+			// closed-loop control, so "-arrivals \"none;poisson:150000\""
+			// sweeps open-system configs against their closed-loop baselines
+			// in one grid.
+			sp, err := arrival.Parse(a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "epochgrid: -arrivals: %v\n", err)
+				return 2
+			}
+			if sp.IsZero() {
+				spec.Arrivals = append(spec.Arrivals, "")
+			} else {
+				spec.Arrivals = append(spec.Arrivals, arrival.Format(sp))
+			}
 		}
 	}
 	var err error
@@ -284,6 +320,37 @@ func faultsOf(s bench.Summary) string {
 	return bench.FormatFaults(s.Cfg.Faults)
 }
 
+// arrivalOf renders a summary's arrival process in canonical syntax ("none"
+// for closed-loop configs), so open-system sweeps are self-describing in
+// every output format.
+func arrivalOf(s bench.Summary) string {
+	for _, tr := range s.Trials {
+		if tr.Arrival != "" {
+			return tr.Arrival
+		}
+	}
+	sp, err := arrival.Parse(s.Cfg.Arrival)
+	if err != nil {
+		return s.Cfg.Arrival
+	}
+	return arrival.Format(sp)
+}
+
+// latOf pools a summary's per-trial latency histograms and returns the p99
+// and p999 modeled latency in milliseconds — quantiles of the pooled
+// observations, not averages of per-trial quantiles, so one bad trial's
+// tail dominates. Both zero for closed-loop groups.
+func latOf(s bench.Summary) (p99ms, p999ms float64) {
+	var h arrival.Hist
+	for _, tr := range s.Trials {
+		h.Merge(tr.Latency)
+	}
+	if h.Count() == 0 {
+		return 0, 0
+	}
+	return float64(h.Quantile(0.99)) / 1e6, float64(h.Quantile(0.999)) / 1e6
+}
+
 // peakLimboOf is the mean unreclaimed-object high-water mark across a
 // summary's trials — the robustness metric a stall sweep compares between
 // hazard-family (bounded) and epoch-based (unbounded) schemes.
@@ -316,31 +383,34 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 	switch format {
 	case "table":
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "scenario\tphases\tfaults\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tpeak limbo\tdropped")
+		fmt.Fprintln(tw, "scenario\tphases\tfaults\tarrival\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tpeak limbo\tlat p99 (ms)\tlat p999 (ms)\tdropped")
 		for _, s := range sums {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%d\n",
-				s.Cfg.Scenario, phasesOf(s), faultsOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+			p99, p999 := latOf(s)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%.2f\t%.2f\t%d\n",
+				s.Cfg.Scenario, phasesOf(s), faultsOf(s), arrivalOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
-				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, peakLimboOf(s), droppedOf(s))
+				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, peakLimboOf(s), p99, p999, droppedOf(s))
 		}
 		return tw.Flush()
 	case "csv":
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{
-			"scenario", "phases", "faults", "ds", "allocator", "reclaimer", "threads", "batch",
+			"scenario", "phases", "faults", "arrival", "ds", "allocator", "reclaimer", "threads", "batch",
 			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
-			"mean_peak_limbo", "dropped",
+			"mean_peak_limbo", "lat_p99_ms", "lat_p999_ms", "dropped",
 		}); err != nil {
 			return err
 		}
 		for _, s := range sums {
+			p99, p999 := latOf(s)
 			if err := cw.Write([]string{
-				s.Cfg.Scenario, phasesOf(s), faultsOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
+				s.Cfg.Scenario, phasesOf(s), faultsOf(s), arrivalOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				strconv.Itoa(s.Cfg.Threads), strconv.Itoa(s.Cfg.BatchSize),
 				seedList(s), strconv.Itoa(len(s.Trials)),
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
 				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
 				fmt.Sprintf("%.1f", peakLimboOf(s)),
+				fmt.Sprintf("%.3f", p99), fmt.Sprintf("%.3f", p999),
 				strconv.FormatInt(droppedOf(s), 10),
 			}); err != nil {
 				return err
@@ -353,6 +423,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			Scenario      string   `json:"scenario"`
 			Phases        string   `json:"phases,omitempty"`
 			Faults        string   `json:"faults,omitempty"`
+			Arrival       string   `json:"arrival,omitempty"`
 			DataStructure string   `json:"ds"`
 			Allocator     string   `json:"allocator"`
 			Reclaimer     string   `json:"reclaimer"`
@@ -365,6 +436,8 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			MaxOps        float64  `json:"max_ops"`
 			MeanPeakMiB   float64  `json:"mean_peak_mib"`
 			MeanPeakLimbo float64  `json:"mean_peak_limbo"`
+			LatP99Ms      float64  `json:"lat_p99_ms,omitempty"`
+			LatP999Ms     float64  `json:"lat_p999_ms,omitempty"`
 			Dropped       int64    `json:"dropped,omitempty"`
 		}
 		doc := struct {
@@ -377,14 +450,21 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			if faults == "none" {
 				faults = ""
 			}
+			arr := arrivalOf(s)
+			if arr == "none" {
+				arr = ""
+			}
+			p99, p999 := latOf(s)
 			js := jsonSummary{
 				Scenario: s.Cfg.Scenario, Phases: phasesOf(s), Faults: faults,
+				Arrival:       arr,
 				DataStructure: s.Cfg.DataStructure,
 				Allocator:     s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
 				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
 				Trials:  len(s.Trials),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
 				MeanPeakMiB: s.MeanPeakMiB, MeanPeakLimbo: peakLimboOf(s),
+				LatP99Ms: p99, LatP999Ms: p999,
 				Dropped: droppedOf(s),
 			}
 			for _, tr := range s.Trials {
@@ -409,7 +489,7 @@ func seedList(s bench.Summary) string {
 }
 
 // runCompare diffs two stores and exits nonzero on regression.
-func runCompare(oldPath, newPath string, tol, limboTol float64, format, outPath string) int {
+func runCompare(oldPath, newPath string, tol, limboTol, latTol float64, format, outPath string) int {
 	if oldPath == "" || newPath == "" {
 		fmt.Fprintln(os.Stderr, "epochgrid: -compare OLD and -with NEW are both required")
 		return 2
@@ -424,7 +504,7 @@ func runCompare(oldPath, newPath string, tol, limboTol float64, format, outPath 
 		fmt.Fprintf(os.Stderr, "epochgrid: %v\n", err)
 		return 1
 	}
-	rep := results.Compare(oldStore, newStore, results.Tolerances{RelOps: tol, LimboFactor: limboTol})
+	rep := results.Compare(oldStore, newStore, results.Tolerances{RelOps: tol, LimboFactor: limboTol, LatencyFactor: latTol})
 
 	out, cleanup, err := openOut(outPath)
 	if err != nil {

@@ -1,0 +1,188 @@
+package arrival
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// Hist is a log-bucketed latency histogram (HDR-lite): 8 sub-buckets per
+// power-of-two octave over nanosecond values, so relative resolution is
+// ~12.5% at every scale from 1ns to ~73 minutes with a fixed 512-bucket
+// footprint. Observe is allocation-free and branch-light — an array index
+// computed from the bit length — which is what lets the bench harness
+// record one latency per completed op on the measured path without
+// perturbing the modeled numbers.
+//
+// The zero Hist is ready to use. Hist is not safe for concurrent use; the
+// harness gives each worker its own and merges at the end (Merge).
+type Hist struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+const (
+	// histSubBits sub-bucket bits per octave: 2^3 = 8 linear sub-buckets
+	// between successive powers of two.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64: the top bucket index is
+	// 59·8 + 15 = 487 for values near 2^63.
+	histBuckets = 512
+)
+
+// bucketIdx maps a non-negative value to its bucket. Values 0..7 get exact
+// buckets; above that, the index is octave·8 + sub-bucket, contiguous with
+// the exact range (7 → 7, 8 → 8, 15 → 15, 16 → 16, ...).
+func bucketIdx(v int64) int {
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	shift := uint(bits.Len64(u)) - 1 - histSubBits
+	return int(shift)*histSub + int(u>>shift)
+}
+
+// bucketBounds inverts bucketIdx: the half-open value range [lo, hi) of a
+// bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histSub {
+		return int64(idx), int64(idx + 1)
+	}
+	shift := uint(idx/histSub - 1)
+	top := uint64(idx%histSub) + histSub
+	return int64(top << shift), int64((top + 1) << shift)
+}
+
+// Observe records one latency in nanoseconds. Negative values clamp to
+// zero (a coarse completion stamp can lag a coarse arrival stamp by up to
+// one refresh period; the clamp keeps that artifact out of the tail).
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIdx(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge adds o's observations into h. A nil o is a no-op.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i, n := range o.counts {
+		h.counts[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Max returns the largest observed value in nanoseconds.
+func (h *Hist) Max() int64 { return h.max }
+
+// Sum returns the total of all observations in nanoseconds.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Mean returns the mean observation in nanoseconds (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) in nanoseconds, linearly
+// interpolated inside the containing bucket and capped at the exact Max.
+// An empty histogram returns 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(n)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Each calls f for every non-empty bucket in ascending value order with
+// the bucket's half-open bounds and count. Renderers use it without
+// knowing the bucket layout.
+func (h *Hist) Each(f func(lo, hi, n int64)) {
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		f(lo, hi, n)
+	}
+}
+
+// histJSON is the sparse wire form: only non-empty buckets are encoded, as
+// [index, count] pairs, so a JSONL record stays a few hundred bytes
+// instead of 512 mostly-zero entries.
+type histJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the histogram sparsely.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	out := histJSON{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, n := range h.counts {
+		if n != 0 {
+			out.Buckets = append(out.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the sparse form back into a dense histogram.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var in histJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Hist{count: in.Count, sum: in.Sum, max: in.Max}
+	for _, b := range in.Buckets {
+		if b[0] < 0 || b[0] >= histBuckets {
+			return fmt.Errorf("arrival: histogram bucket index %d out of range", b[0])
+		}
+		h.counts[b[0]] = b[1]
+	}
+	return nil
+}

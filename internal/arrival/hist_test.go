@@ -1,0 +1,192 @@
+package arrival
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBucketLayoutContiguous walks values across several octaves and pins
+// the invariants the quantile math depends on: indices are monotone
+// non-decreasing in the value, every value falls inside its own bucket's
+// bounds, and bucketBounds inverts bucketIdx exactly.
+func TestBucketLayoutContiguous(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 1 + v/64 {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx(%d) = %d < previous %d (not monotone)", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d, %d)", v, idx, lo, hi)
+		}
+	}
+	// Boundary pins across the exact→log transition and octave edges.
+	for _, c := range []struct {
+		v   int64
+		idx int
+	}{{0, 0}, {7, 7}, {8, 8}, {15, 15}, {16, 16}, {17, 16}, {18, 17}, {1024, 64}} {
+		if got := bucketIdx(c.v); got != c.idx {
+			t.Fatalf("bucketIdx(%d) = %d, want %d", c.v, got, c.idx)
+		}
+	}
+	// Largest representable value must stay in range.
+	if idx := bucketIdx(1<<62 + 1<<61); idx >= histBuckets {
+		t.Fatalf("huge value maps to bucket %d >= %d", idx, histBuckets)
+	}
+}
+
+// TestBucketResolution pins the relative width: every log bucket's width is
+// between lo/16 (exclusive) and lo/8 (inclusive), i.e. ≤12.5% resolution.
+func TestBucketResolution(t *testing.T) {
+	for idx := histSub; idx < 200; idx++ {
+		lo, hi := bucketBounds(idx)
+		w := hi - lo
+		if w*histSub > lo || w*2*histSub <= lo {
+			t.Fatalf("bucket %d [%d, %d): width %d outside (lo/16, lo/8]", idx, lo, hi, w)
+		}
+	}
+}
+
+func TestHistObserveBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("zero hist not empty")
+	}
+	h.Observe(100)
+	h.Observe(200)
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	if h.Sum() != 300 {
+		t.Fatalf("sum %d, want 300", h.Sum())
+	}
+	if h.Max() != 200 {
+		t.Fatalf("max %d, want 200", h.Max())
+	}
+}
+
+// TestHistQuantileInterpolation pins interpolation inside a bucket and the
+// exact-max cap at the top.
+func TestHistQuantileInterpolation(t *testing.T) {
+	var h Hist
+	// 1000 observations of exactly 1000ns: bucket [960, 1080).
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000)
+	}
+	lo, hi := bucketBounds(bucketIdx(1000))
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		v := h.Quantile(q)
+		if v < lo || v > 1000 {
+			t.Fatalf("q%.3f = %d outside [%d, 1000] (bucket [%d, %d), max-capped)", q, v, lo, lo, hi)
+		}
+	}
+	if h.Quantile(1) != 1000 {
+		t.Fatalf("q1 = %d, want exact max 1000", h.Quantile(1))
+	}
+	// Uniform spread across two well-separated buckets: the median must
+	// land at or beyond the lower bucket, q0.999 near the top value.
+	var h2 Hist
+	for i := 0; i < 500; i++ {
+		h2.Observe(1000)
+		h2.Observe(1000000)
+	}
+	if m := h2.Quantile(0.5); m < 960 || m > 1080 {
+		t.Fatalf("median %d, want within the 1000ns bucket", m)
+	}
+	if p := h2.Quantile(0.999); p < 900000 || p > 1000000 {
+		t.Fatalf("q0.999 = %d, want near 1ms", p)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Observe(500)
+		b.Observe(50000)
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d, want 200", a.Count())
+	}
+	if a.Max() != 50000 {
+		t.Fatalf("merged max %d, want 50000", a.Max())
+	}
+	if a.Sum() != 100*500+100*50000 {
+		t.Fatalf("merged sum %d", a.Sum())
+	}
+	if m := a.Quantile(0.25); m > 1000 {
+		t.Fatalf("q0.25 = %d, want in the low mode", m)
+	}
+	if p := a.Quantile(0.95); p < 40000 {
+		t.Fatalf("q0.95 = %d, want in the high mode", p)
+	}
+}
+
+// TestHistJSONRoundTrip pins the sparse wire form: quantiles survive a
+// marshal/unmarshal cycle bit-for-bit.
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	for i := int64(1); i < 5000; i += 7 {
+		h.Observe(i * 13)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("histogram changed across JSON round-trip")
+	}
+	// The wire form is sparse: far fewer buckets than the dense array.
+	var wire struct {
+		Buckets [][2]int64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Buckets) == 0 || len(wire.Buckets) >= histBuckets/2 {
+		t.Fatalf("wire form has %d buckets, want sparse non-empty", len(wire.Buckets))
+	}
+	// Out-of-range bucket indices are rejected, not silently dropped.
+	if err := json.Unmarshal([]byte(`{"count":1,"sum":1,"max":1,"buckets":[[999,1]]}`), &back); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+}
+
+// TestHistEach pins the renderer iteration contract: ascending order,
+// non-empty buckets only, counts summing to Count.
+func TestHistEach(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Observe(1000)
+	h.Observe(1000)
+	var total, prevHi int64
+	h.Each(func(lo, hi, n int64) {
+		if lo < prevHi {
+			t.Fatalf("buckets out of order: lo %d after hi %d", lo, prevHi)
+		}
+		if n == 0 {
+			t.Fatal("empty bucket visited")
+		}
+		prevHi = hi
+		total += n
+	})
+	if total != 3 {
+		t.Fatalf("Each visited %d observations, want 3", total)
+	}
+}
+
+// BenchmarkHistObserve tracks the hot-path cost of one observation.
+func BenchmarkHistObserve(b *testing.B) {
+	var h Hist
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xfffff))
+	}
+}

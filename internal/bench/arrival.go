@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arrival"
+	"repro/internal/clock"
+)
+
+// arrivalEngine turns a trial's closed loop into an open system. Each worker
+// owns a seeded deterministic arrival generator (internal/arrival); at the
+// 64-op batch edge the worker admits only the ops whose arrival offsets have
+// come due against the coarse wall clock, waiting out the gap when none
+// have. Per-op modeled latency is completion time minus arrival time,
+// recorded in the worker's private log-bucketed histogram.
+//
+// The hot path stays zero-alloc and stamp-free: arrival offsets are drawn
+// into a fixed per-worker array at the batch edge, and both the admission
+// stamp and the completion stamp are clock.Coarse() — an atomic load of a
+// cached value, never a clock read — so HostClockReads is unchanged by the
+// open-system machinery. Every method is nil-receiver-safe, so the
+// closed-loop (cfg.Arrival == "") trial pays exactly one nil check per batch
+// and remains bit-identical to the closed-loop harness.
+type arrivalEngine struct {
+	spec arrival.Spec
+	// origin is the wall nanotime when the measured window opened (the
+	// moment arrival offset 0 means). Workers spin on it being set, so
+	// arrivals never come due during prefill.
+	origin atomic.Int64
+	state  []workerArrivalState
+}
+
+// workerArrivalState is one worker's open-system lane: generator cursor,
+// the pending batch's arrival stamps, and the latency histogram. All fields
+// are owner-written at batch edges; padding keeps neighbors off one cache
+// line.
+type workerArrivalState struct {
+	gen  *arrival.Gen
+	next int64 // next undrawn arrival offset (ns since origin)
+	// stamps holds the admitted batch's arrival offsets; stamps[i] pairs
+	// with the i-th op the worker is about to execute.
+	stamps [opBatchSize]int64
+	hist   arrival.Hist
+	_      [6]int64
+}
+
+// arrivalSeedStride separates per-worker generator streams (splitmix64 over
+// cfg.Seed + w·stride); the golden-ratio constant matches the harness's
+// other per-thread stream derivations.
+const arrivalSeedStride = 0x9e3779b97f4a7c15
+
+// newArrivalEngine parses and resolves cfg.Arrival. A nil return (with nil
+// error) means closed loop: every hook short-circuits on the nil check.
+func newArrivalEngine(cfg *WorkloadConfig) (*arrivalEngine, error) {
+	if cfg.Arrival == "" {
+		return nil, nil
+	}
+	spec, err := arrival.Parse(cfg.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	if spec.IsZero() {
+		return nil, nil // "none": explicit closed loop
+	}
+	ae := &arrivalEngine{spec: spec, state: make([]workerArrivalState, cfg.Threads)}
+	for w := range ae.state {
+		g, err := arrival.New(spec, splitmix64(cfg.Seed+uint64(w)*arrivalSeedStride))
+		if err != nil {
+			return nil, err
+		}
+		ae.state[w].gen = g
+		ae.state[w].next = g.Next()
+	}
+	return ae, nil
+}
+
+// open anchors arrival offset 0 at the current instant. RunTrial calls it
+// after prefill, immediately before the measured window, so the queue is
+// empty when measurement starts.
+func (ae *arrivalEngine) open() {
+	if ae == nil {
+		return
+	}
+	ae.origin.Store(clock.Coarse())
+}
+
+// sleepGapNs is the wait-loop threshold: gaps longer than this (several
+// coarse-clock refreshes) sleep half the gap instead of burning a core on
+// Gosched — bursty off-windows are tens of milliseconds.
+const sleepGapNs = int64(4 * clock.CoarseResolution)
+
+// admit returns how many of the next max ops have arrived by now, recording
+// their arrival offsets into the worker's stamp array. When none are due it
+// waits — yielding for short gaps, sleeping for long ones — and returns 0
+// only if the trial stopped while waiting (the worker exits). The returned
+// count is therefore in [1, max] for a running trial.
+func (ae *arrivalEngine) admit(st *Stack, w, max int) int {
+	if ae == nil {
+		return max
+	}
+	ws := &ae.state[w]
+	origin := ae.origin.Load()
+	for {
+		now := clock.Coarse() - origin
+		if ws.next <= now {
+			n := 0
+			for n < max && ws.next <= now {
+				ws.stamps[n] = ws.next
+				ws.next = ws.gen.Next()
+				n++
+			}
+			return n
+		}
+		if st.Stopped() {
+			return 0
+		}
+		if gap := ws.next - now; gap > sleepGapNs {
+			// Long idle gap (bursty off-window, diurnal trough): sleep half of
+			// it so re-checks of the stop flag stay prompt without spinning.
+			time.Sleep(time.Duration(gap / 2))
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// complete records the just-executed batch's latencies: one coarse stamp
+// for the whole batch, one histogram update per op. Allocation-free.
+func (ae *arrivalEngine) complete(w, n int) {
+	if ae == nil {
+		return
+	}
+	ws := &ae.state[w]
+	now := clock.Coarse() - ae.origin.Load()
+	for i := 0; i < n; i++ {
+		ws.hist.Observe(now - ws.stamps[i])
+	}
+}
+
+// resync drops worker w's arrival backlog: the generator fast-forwards past
+// now, so the next admitted op arrived after this instant. Called when the
+// worker was legitimately absent — at runWorker entry (phase dispatch gaps,
+// trial start) and when a stall/wedge park releases — modeling a fabric
+// that reroutes a stalled replica's queue instead of replaying it. The
+// stalled worker's own backlog is not the signal; the collateral tail of
+// the *other* workers (allocator starvation, batch-free pauses) is.
+func (ae *arrivalEngine) resync(w int) {
+	if ae == nil {
+		return
+	}
+	ws := &ae.state[w]
+	now := clock.Coarse() - ae.origin.Load()
+	for ws.next <= now {
+		ws.next = ws.gen.Next()
+	}
+}
+
+// mergedHist merges every worker's histogram into one trial-wide histogram;
+// nil when the engine is nil (closed loop).
+func (ae *arrivalEngine) mergedHist() *arrival.Hist {
+	if ae == nil {
+		return nil
+	}
+	h := &arrival.Hist{}
+	for w := range ae.state {
+		h.Merge(&ae.state[w].hist)
+	}
+	return h
+}

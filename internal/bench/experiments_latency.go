@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/timeline"
+)
+
+// Open-system extension experiment: the paper's robustness story told in
+// tail latency. A closed loop converts an SMR stall into a throughput dip;
+// an open loop converts it into queueing delay, so the reclaimer dichotomy
+// (bounded hazard-family vs unbounded epoch-family) shows up as a p999
+// blowup instead of a limbo count.
+
+func init() {
+	register(Experiment{
+		ID:    "lat",
+		Title: "Open-system tail latency: healthy vs stalled-reader p999 per reclaimer (poisson arrivals)",
+		Run:   runLat,
+	})
+}
+
+// latThreads is the fixed population for the latency probe. The arrival
+// rate is per worker, so a small population keeps the offered load near
+// (but under) single-socket capacity for every scheme — the regime where a
+// stall turns into backlog rather than instant saturation.
+const latThreads = 4
+
+// latDefaultArrival is the offered load when -arrival is not given:
+// memoryless arrivals at ~half the slowest scheme's closed-loop capacity.
+const latDefaultArrival = "poisson:150000"
+
+// latStallPlan parks worker 0 mid-trial long enough for unbounded schemes
+// to accumulate a queueing backlog (the grid latency gate uses the same
+// plan).
+const latStallPlan = "stall:w0@5000~60000"
+
+func runLat(o Options) (string, error) {
+	o.fill()
+	arrivalSpec := o.Arrival
+	if arrivalSpec == "" {
+		arrivalSpec = latDefaultArrival
+	}
+	stall, err := ParseFaults(latStallPlan)
+	if err != nil {
+		return "", err
+	}
+
+	type arm struct {
+		tr TrialResult
+	}
+	var sb strings.Builder
+	tb := newTable("reclaimer", "arm", "ops/s", "p50", "p99", "p999", "max", "p999 blowup")
+	hists := map[string]TrialResult{}
+	for _, rec := range []string{"debra", "qsbr", "hp", "he", "ibr"} {
+		var healthy, stalled arm
+		for _, a := range []struct {
+			name   string
+			faults []FaultSpec
+			dst    *arm
+		}{{"healthy", nil, &healthy}, {"stalled", stall, &stalled}} {
+			cfg := o.workload(latThreads)
+			cfg.Reclaimer = rec
+			cfg.Arrival = arrivalSpec
+			cfg.Faults = a.faults
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				return "", fmt.Errorf("lat: %s/%s: %w", rec, a.name, err)
+			}
+			a.dst.tr = tr
+			tb.addf("%s\t%s\t%s\t%v\t%v\t%v\t%v\t%s",
+				rec, a.name, fmtOps(tr.OpsPerSec),
+				time.Duration(tr.LatP50Ns), time.Duration(tr.LatP99Ns),
+				time.Duration(tr.LatP999Ns), time.Duration(tr.LatMaxNs), "")
+		}
+		// Rewrite the stalled row's last cell with the blowup ratio now that
+		// both arms exist.
+		last := tb.rows[len(tb.rows)-1]
+		last[len(last)-1] = ratio(float64(stalled.tr.LatP999Ns), float64(healthy.tr.LatP999Ns))
+		hists[rec] = stalled.tr
+	}
+	fmt.Fprintf(&sb, "Open-system latency — %d workers, %s arrivals/worker, stall plan %s:\n%s\n",
+		latThreads, arrivalSpec, latStallPlan, tb)
+	// One unbounded and one bounded scheme's stalled-arm histograms, so the
+	// tail separation is visible as a shape, not just a quantile.
+	for _, rec := range []string{"debra", "ibr"} {
+		fmt.Fprintf(&sb, "%s stalled:\n%s\n", rec, timeline.RenderLatencyASCII(hists[rec].Latency, 60))
+	}
+	return sb.String(), nil
+}

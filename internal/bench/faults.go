@@ -328,6 +328,11 @@ func (fe *faultEngine) onBatch(st *Stack, w, tid, n int) (crashed bool) {
 		switch ev.kind {
 		case faultStall, faultWedge:
 			fe.park(st, tid, ev)
+			// An open-system worker returning from a park drops the backlog
+			// that arrived while it was held — the fabric rerouted its queue.
+			// Slowdown faults keep their backlog; degraded service is the
+			// signal there.
+			st.arrivals.resync(w)
 		case faultSlowdown:
 			fe.slowdowns.Add(1)
 			ws.slowUntil = ws.ops + ev.span

@@ -48,6 +48,9 @@ type Options struct {
 	// Deadline, when positive, arms the per-trial watchdog on every trial
 	// (see WorkloadConfig.Deadline).
 	Deadline time.Duration
+	// Arrival, when non-empty, runs every trial as an open system under
+	// this arrival process (see WorkloadConfig.Arrival).
+	Arrival string
 	// RecorderCap overrides the per-thread timeline capacity for
 	// record-enabled experiments when positive (smoke tests shrink it; the
 	// default 100000 × 240 threads preallocates hundreds of MiB).
@@ -114,6 +117,7 @@ func (o *Options) workload(threads int) WorkloadConfig {
 	cfg.Phases = o.Phases
 	cfg.Faults = o.Faults
 	cfg.Deadline = o.Deadline
+	cfg.Arrival = o.Arrival
 	if o.RecorderCap > 0 {
 		cfg.RecorderCap = o.RecorderCap
 	}

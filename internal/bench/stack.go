@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/clock"
 	"repro/internal/ds"
 	"repro/internal/simalloc"
@@ -35,6 +36,9 @@ type Stack struct {
 	// faults is the trial's resolved fault plan; nil when cfg.Faults is
 	// empty, so the no-fault batch edge pays one nil check.
 	faults *faultEngine
+	// arrivals is the trial's open-system engine; nil when cfg.Arrival is
+	// empty, so the closed-loop batch edge pays one nil check.
+	arrivals *arrivalEngine
 	// heart is the ops-progress heartbeat: workers (and prefill) add each
 	// completed batch. The watchdog declares a trial wedged when it stops
 	// moving; stall faults measure their release span against it.
@@ -118,6 +122,14 @@ func NewStack(cfg WorkloadConfig) (*Stack, error) {
 
 	if s.faults, err = newFaultEngine(&cfg); err != nil {
 		return nil, err
+	}
+	if s.arrivals, err = newArrivalEngine(&cfg); err != nil {
+		return nil, err
+	}
+	if s.arrivals != nil {
+		// Arrival admission and latency stamps read the cached coarse clock;
+		// start its refresher before any worker needs it.
+		clock.EnsureCoarse()
 	}
 	return s, nil
 }
@@ -215,6 +227,14 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	res.PctStall = simalloc.PctOf(res.SMR.StallNanos, wall, s.cfg.Threads)
 	res.Faults = s.faults.snapshot()
 	res.Recorder = s.Recorder
+	if h := s.arrivals.mergedHist(); h != nil {
+		res.Arrival = arrival.Format(s.arrivals.spec)
+		res.Latency = h
+		res.LatP50Ns = h.Quantile(0.50)
+		res.LatP99Ns = h.Quantile(0.99)
+		res.LatP999Ns = h.Quantile(0.999)
+		res.LatMaxNs = h.Max()
+	}
 
 	// Host-overhead self-report (see TrialResult). The allocator counts its
 	// own stamps exactly (Stats.ClockReads — all on slow paths; tcache-hit

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/simalloc"
 	"repro/internal/smr"
 	"repro/internal/timeline"
@@ -141,6 +142,16 @@ type WorkloadConfig struct {
 	// never affects a healthy trial's measurements, so results keys ignore
 	// it (results.Normalize zeroes it).
 	Deadline time.Duration `json:",omitempty"`
+	// Arrival, when non-empty, turns the closed loop into an open system:
+	// each worker admits ops against a seeded deterministic arrival process
+	// (arrival.Parse syntax — "poisson:RATE", "bursty:RATE@PERIOD~DUTY",
+	// "diurnal:RATE@PERIOD~AMP"; rates are per-worker arrivals/sec) and the
+	// trial reports queueing latency percentiles. Empty (or "none") is the
+	// historical closed loop, bit-identical to pre-arrival trials. A
+	// watchdog Deadline must exceed the process's longest idle gap (e.g. a
+	// bursty off-window): waiting for the next arrival does not beat the
+	// heartbeat.
+	Arrival string `json:",omitempty"`
 }
 
 // DefaultWorkload returns the scaled-down version of the paper's
@@ -201,6 +212,21 @@ type TrialResult struct {
 	// Faults counts the injected faults by kind; all zero for no-fault
 	// trials.
 	Faults FaultStats `json:",omitempty"`
+	// Arrival is the resolved open-system arrival process the trial ran
+	// (canonical arrival.Format form); empty for closed-loop trials, in
+	// which case every latency field below is zero and Latency is nil.
+	Arrival string `json:",omitempty"`
+	// LatP50Ns/LatP99Ns/LatP999Ns/LatMaxNs are queueing-latency quantiles
+	// in nanoseconds over every completed op: completion sim-time minus
+	// arrival sim-time, the open-system tail the paper's bounded-vs-
+	// unbounded dichotomy predicts a stall should blow up.
+	LatP50Ns  int64 `json:",omitempty"`
+	LatP99Ns  int64 `json:",omitempty"`
+	LatP999Ns int64 `json:",omitempty"`
+	LatMaxNs  int64 `json:",omitempty"`
+	// Latency is the full merged log-bucketed histogram behind the
+	// quantiles (sparse in JSON); nil for closed-loop trials.
+	Latency *arrival.Hist `json:",omitempty"`
 	// Error carries the abort reason of a watchdog-aborted trial; empty on
 	// success. The full diagnostics ride the *TrialError RunTrial returns.
 	Error string `json:",omitempty"`
@@ -351,6 +377,11 @@ func runWorker(cfg *WorkloadConfig, st *Stack, w, tid int, kd KeyDist, om OpMix)
 		fe.enter(w, tid)
 		defer fe.exit()
 	}
+	ae := st.arrivals
+	// An open-system worker drops any backlog that accumulated while it was
+	// not running — trial start and phase dispatch gaps both land here — so
+	// the first admitted op arrived after this instant.
+	ae.resync(w)
 	var s opStream
 	local := int64(0)
 	fixed := int64(cfg.FixedOps)
@@ -371,6 +402,14 @@ func runWorker(cfg *WorkloadConfig, st *Stack, w, tid int, kd KeyDist, om OpMix)
 			}
 		} else if st.Stopped() {
 			break
+		}
+		if ae != nil {
+			// Open system: shrink the batch to the ops that have actually
+			// arrived, waiting out the gap when none have. Zero means the
+			// trial stopped while waiting.
+			if n = ae.admit(st, w, n); n == 0 {
+				break
+			}
 		}
 		s.refill(kd, om, n)
 		if legacyYield > 0 {
@@ -402,6 +441,9 @@ func runWorker(cfg *WorkloadConfig, st *Stack, w, tid int, kd KeyDist, om OpMix)
 				}
 			}
 			local += int64(n)
+		}
+		if ae != nil {
+			ae.complete(w, n)
 		}
 		rec.Merge(tid)
 		st.heart.Add(int64(n))
@@ -476,6 +518,10 @@ func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
 	if f := afterPrefill.Swap(nil); f != nil {
 		(*f)()
 	}
+	// Anchor the open-system arrival origin now, after prefill, so the
+	// measured window opens with an empty queue (nil-safe; no-op when
+	// closed-loop).
+	st.arrivals.open()
 
 	if runs != nil {
 		type phasesOut struct {

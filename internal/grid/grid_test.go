@@ -96,6 +96,40 @@ func TestSpecPhaseScheduleAxis(t *testing.T) {
 	}
 }
 
+func TestSpecArrivalsAxis(t *testing.T) {
+	s := Spec{
+		Base:       bench.DefaultWorkload(2),
+		Arrivals:   []string{"", "poisson:50000"},
+		Reclaimers: []string{"debra", "hp"},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfgs := s.Expand()
+	if len(cfgs) != 4 || s.Size() != 4 {
+		t.Fatalf("expanded %d configs (Size %d), want 4", len(cfgs), s.Size())
+	}
+	// Arrivals sit between fault plans and data structures: closed-loop
+	// controls first, then the open-system configs, reclaimer innermost.
+	for i, want := range []struct {
+		arrival   string
+		reclaimer string
+	}{{"", "debra"}, {"", "hp"}, {"poisson:50000", "debra"}, {"poisson:50000", "hp"}} {
+		if c := cfgs[i]; c.Arrival != want.arrival || c.Reclaimer != want.reclaimer {
+			t.Fatalf("cfg[%d] = %q/%s, want %q/%s", i, c.Arrival, c.Reclaimer, want.arrival, want.reclaimer)
+		}
+	}
+	// Open-system configs and their closed-loop controls must not share keys.
+	if results.GroupOf(cfgs[0]) == results.GroupOf(cfgs[2]) {
+		t.Fatal("open-system and closed-loop configs share a group key")
+	}
+
+	bad := Spec{Arrivals: []string{"poisson:-1"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad arrival spec accepted")
+	}
+}
+
 func TestSpecEmptyAxesInheritBase(t *testing.T) {
 	var s Spec
 	cfgs := s.Expand()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 	"repro/internal/ds"
 	"repro/internal/smr"
@@ -31,9 +32,9 @@ type Spec struct {
 	// seed, ...). A zero Base means bench.DefaultWorkload.
 	Base bench.WorkloadConfig
 	// The sweep axes. Expansion order is scenarios (outermost), phase
-	// schedules, fault plans, data structures, allocators, threads, batch
-	// sizes, reclaimers (innermost) — fixed and documented so rendered
-	// tables and stored artifacts are reproducible.
+	// schedules, fault plans, arrivals, data structures, allocators,
+	// threads, batch sizes, reclaimers (innermost) — fixed and documented
+	// so rendered tables and stored artifacts are reproducible.
 	Scenarios []string
 	// PhaseSchedules is the phase-engine axis: each entry is one complete
 	// schedule (see bench.PhaseSpec) applied to WorkloadConfig.Phases.
@@ -44,7 +45,13 @@ type Spec struct {
 	// plan (see bench.FaultSpec) applied to WorkloadConfig.Faults — a nil
 	// entry is the healthy control, so one sweep can carry faulted configs
 	// and their no-fault baselines side by side. Empty inherits Base.Faults.
-	FaultPlans     [][]bench.FaultSpec
+	FaultPlans [][]bench.FaultSpec
+	// Arrivals is the open-system axis: each entry is one arrival process in
+	// the arrival.Parse syntax applied to WorkloadConfig.Arrival — an empty
+	// string is the closed-loop control, so one sweep can carry open-system
+	// configs and their closed-loop baselines side by side. Empty inherits
+	// Base.Arrival.
+	Arrivals       []string
 	DataStructures []string
 	Allocators     []string
 	Threads        []int
@@ -106,6 +113,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.FaultPlans) == 0 {
 		s.FaultPlans = [][]bench.FaultSpec{s.Base.Faults}
+	}
+	if len(s.Arrivals) == 0 {
+		s.Arrivals = []string{s.Base.Arrival}
 	}
 	if len(s.DataStructures) == 0 {
 		s.DataStructures = []string{s.Base.DataStructure}
@@ -178,6 +188,11 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	for i, a := range s.Arrivals {
+		if _, err := arrival.Parse(a); err != nil {
+			return fmt.Errorf("grid: arrival %d: %w", i, err)
+		}
+	}
 	if s.Base.Duration <= 0 {
 		return fmt.Errorf("grid: duration %v must be positive", s.Base.Duration)
 	}
@@ -201,8 +216,8 @@ func validateNames(kind string, got, known []string) error {
 func (s Spec) Size() int {
 	s = s.withDefaults()
 	return len(s.Scenarios) * len(s.PhaseSchedules) * len(s.FaultPlans) *
-		len(s.DataStructures) * len(s.Allocators) * len(s.Threads) *
-		len(s.BatchSizes) * len(s.Reclaimers)
+		len(s.Arrivals) * len(s.DataStructures) * len(s.Allocators) *
+		len(s.Threads) * len(s.BatchSizes) * len(s.Reclaimers)
 }
 
 // Expand materializes the cartesian product in the documented axis order.
@@ -212,21 +227,24 @@ func (s Spec) Expand() []bench.WorkloadConfig {
 	for _, scenario := range s.Scenarios {
 		for _, phases := range s.PhaseSchedules {
 			for _, faults := range s.FaultPlans {
-				for _, dsName := range s.DataStructures {
-					for _, alloc := range s.Allocators {
-						for _, threads := range s.Threads {
-							for _, batch := range s.BatchSizes {
-								for _, rec := range s.Reclaimers {
-									cfg := s.Base
-									cfg.Scenario = scenario
-									cfg.Phases = phases
-									cfg.Faults = faults
-									cfg.DataStructure = dsName
-									cfg.Allocator = alloc
-									cfg.Threads = threads
-									cfg.BatchSize = batch
-									cfg.Reclaimer = rec
-									cfgs = append(cfgs, cfg)
+				for _, arr := range s.Arrivals {
+					for _, dsName := range s.DataStructures {
+						for _, alloc := range s.Allocators {
+							for _, threads := range s.Threads {
+								for _, batch := range s.BatchSizes {
+									for _, rec := range s.Reclaimers {
+										cfg := s.Base
+										cfg.Scenario = scenario
+										cfg.Phases = phases
+										cfg.Faults = faults
+										cfg.Arrival = arr
+										cfg.DataStructure = dsName
+										cfg.Allocator = alloc
+										cfg.Threads = threads
+										cfg.BatchSize = batch
+										cfg.Reclaimer = rec
+										cfgs = append(cfgs, cfg)
+									}
 								}
 							}
 						}

@@ -36,11 +36,20 @@ type Tolerances struct {
 	// schemes; throughput-style relative tolerances would be meaningless.
 	// Zero or negative means the 4.0 default.
 	LimboFactor float64
+	// LatencyFactor gates the open-system tail: a group whose p999 queueing
+	// latency grew by more than this factor is regressed even at unchanged
+	// throughput — an open system can hold its ops/sec (arrivals are
+	// admitted eventually) while its tail explodes, which is precisely the
+	// stall signature the latency gate exists to catch. Multiplicative like
+	// the limbo gate, and growth-only: a shrinking tail never flags. Zero
+	// or negative means the 4.0 default.
+	LatencyFactor float64
 }
 
 const (
-	defaultRelOps      = 0.05
-	defaultLimboFactor = 4.0
+	defaultRelOps        = 0.05
+	defaultLimboFactor   = 4.0
+	defaultLatencyFactor = 4.0
 )
 
 func (t Tolerances) relOps() float64 {
@@ -55,6 +64,13 @@ func (t Tolerances) limboFactor() float64 {
 		return defaultLimboFactor
 	}
 	return t.LimboFactor
+}
+
+func (t Tolerances) latencyFactor() float64 {
+	if t.LatencyFactor <= 0 {
+		return defaultLatencyFactor
+	}
+	return t.LatencyFactor
 }
 
 // Delta is one configuration group's old-vs-new comparison.
@@ -78,6 +94,12 @@ type Delta struct {
 	// the limbo gate (not ops) drove the classification.
 	LimboRatio     float64 `json:"limbo_ratio,omitempty"`
 	LimboRegressed bool    `json:"limbo_regressed,omitempty"`
+	// LatRatio is new/old p999 queueing latency (0 when either side lacks
+	// latency data, e.g. closed-loop groups). A ratio above
+	// Tolerances.LatencyFactor marks the group regressed on the tail;
+	// LatRegressed records that the latency gate drove the classification.
+	LatRatio     float64 `json:"lat_ratio,omitempty"`
+	LatRegressed bool    `json:"lat_regressed,omitempty"`
 }
 
 // Report is the full cross-store diff.
@@ -85,12 +107,14 @@ type Report struct {
 	Tolerance float64 `json:"tolerance"`
 	// LimboTolerance is the peak-limbo growth factor the limbo gate used.
 	LimboTolerance float64 `json:"limbo_tolerance"`
-	Deltas         []Delta `json:"deltas"`
-	Improved       int     `json:"improved"`
-	Regressed      int     `json:"regressed"`
-	Unchanged      int     `json:"unchanged"`
-	OnlyOld        int     `json:"only_old"`
-	OnlyNew        int     `json:"only_new"`
+	// LatencyTolerance is the p999 growth factor the latency gate used.
+	LatencyTolerance float64 `json:"latency_tolerance"`
+	Deltas           []Delta `json:"deltas"`
+	Improved         int     `json:"improved"`
+	Regressed        int     `json:"regressed"`
+	Unchanged        int     `json:"unchanged"`
+	OnlyOld          int     `json:"only_old"`
+	OnlyNew          int     `json:"only_new"`
 	// Quarantined is the number of quarantined trials in the new store —
 	// configurations that failed permanently rather than measuring badly.
 	Quarantined int `json:"quarantined,omitempty"`
@@ -120,7 +144,7 @@ func classify(oldMean, newMean, tol float64) (rel float64, class Class) {
 // configuration as improved, regressed, unchanged, or present on one side
 // only. Deltas are sorted by label for deterministic reports.
 func Compare(oldStore, newStore *Store, tol Tolerances) Report {
-	rep := Report{Tolerance: tol.relOps(), LimboTolerance: tol.limboFactor()}
+	rep := Report{Tolerance: tol.relOps(), LimboTolerance: tol.limboFactor(), LatencyTolerance: tol.latencyFactor()}
 	for _, s := range newStore.Summaries() {
 		rep.Quarantined += s.Quarantined
 	}
@@ -145,6 +169,15 @@ func Compare(oldStore, newStore *Store, tol Tolerances) Report {
 				if d.LimboRatio > rep.LimboTolerance && d.Class != ClassRegressed {
 					d.Class = ClassRegressed
 					d.LimboRegressed = true
+				}
+			}
+			// The latency gate: an open-system tail blowup regresses the
+			// group even when its throughput held (see Tolerances).
+			if o.LatP999Ns > 0 && n.LatP999Ns > 0 {
+				d.LatRatio = float64(n.LatP999Ns) / float64(o.LatP999Ns)
+				if d.LatRatio > rep.LatencyTolerance && d.Class != ClassRegressed {
+					d.Class = ClassRegressed
+					d.LatRegressed = true
 				}
 			}
 		} else {
@@ -187,9 +220,9 @@ func Compare(oldStore, newStore *Store, tol Tolerances) Report {
 func (r Report) String() string {
 	var sb strings.Builder
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "config\told ops/s\tnew ops/s\tdelta\tlimbo×\tclass")
+	fmt.Fprintln(w, "config\told ops/s\tnew ops/s\tdelta\tlimbo×\tlat×\tclass")
 	for _, d := range r.Deltas {
-		oldOps, newOps, delta, limbo := "-", "-", "-", "-"
+		oldOps, newOps, delta, limbo, lat := "-", "-", "-", "-", "-"
 		if d.HasOld {
 			oldOps = fmt.Sprintf("%.0f", d.Old.MeanOps)
 		}
@@ -201,16 +234,22 @@ func (r Report) String() string {
 			if d.LimboRatio > 0 {
 				limbo = fmt.Sprintf("%.2f", d.LimboRatio)
 			}
+			if d.LatRatio > 0 {
+				lat = fmt.Sprintf("%.2f", d.LatRatio)
+			}
 		}
 		class := string(d.Class)
 		if d.LimboRegressed {
 			class += " (limbo)"
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", d.Label, oldOps, newOps, delta, limbo, class)
+		if d.LatRegressed {
+			class += " (latency)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", d.Label, oldOps, newOps, delta, limbo, lat, class)
 	}
 	w.Flush()
 	fmt.Fprintf(&sb,
-		"tolerance ±%.1f%% ops, %.1f× limbo: %d improved, %d regressed, %d unchanged, %d only-old, %d only-new, %d quarantined\n",
-		100*r.Tolerance, r.LimboTolerance, r.Improved, r.Regressed, r.Unchanged, r.OnlyOld, r.OnlyNew, r.Quarantined)
+		"tolerance ±%.1f%% ops, %.1f× limbo, %.1f× latency: %d improved, %d regressed, %d unchanged, %d only-old, %d only-new, %d quarantined\n",
+		100*r.Tolerance, r.LimboTolerance, r.LatencyTolerance, r.Improved, r.Regressed, r.Unchanged, r.OnlyOld, r.OnlyNew, r.Quarantined)
 	return sb.String()
 }

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 	"repro/internal/simalloc"
 )
@@ -43,7 +44,14 @@ import (
 // TrialResult gained PeakLimbo/PctStall/Faults/Error, smr.Stats gained
 // PeakLimbo/StallNanos/StallWaits/ClockReads, and Record gained the
 // quarantine fields.
-const SchemaVersion = 4
+//
+// v5: open-system workloads. WorkloadConfig gained Arrival (hashed as-is —
+// an open-system trial measures queueing latency, a different experiment
+// from the closed loop; the canonical "" spelling of the closed loop keeps
+// legacy configs' encodings unchanged apart from the version), and
+// TrialResult gained the Arrival label, the latency quantiles
+// (LatP50Ns/LatP99Ns/LatP999Ns/LatMaxNs), and the Latency histogram.
+const SchemaVersion = 5
 
 // Normalize fills the configuration defaults that the harness would apply
 // at run time (RunTrial, NewStack, smr.Config.fillDefaults), so that a
@@ -93,6 +101,19 @@ func Normalize(cfg bench.WorkloadConfig) bench.WorkloadConfig {
 		cfg.Faults = nil
 	}
 	cfg.Deadline = 0
+	// Arrival folds to its canonical spelling ("" for the closed loop, the
+	// arrival.Format form otherwise) so "none", defaulted parameters, and
+	// their explicit twins share a key. An unparseable spec keeps its text:
+	// it can never have produced a stored trial, so it cannot mis-share.
+	if cfg.Arrival != "" {
+		if spec, err := arrival.Parse(cfg.Arrival); err == nil {
+			if spec.IsZero() {
+				cfg.Arrival = ""
+			} else {
+				cfg.Arrival = arrival.Format(spec)
+			}
+		}
+	}
 	// YieldEvery needs no normalization: 0 is the auto yield policy, a real
 	// configuration distinct from every explicit stride. FixedOps and
 	// LegacyDispatch likewise hash as-is — a fixed-op trial and a wall-clock
@@ -163,6 +184,9 @@ func Label(cfg bench.WorkloadConfig) string {
 	}
 	if len(n.Faults) > 0 {
 		label += "/" + bench.FormatFaults(n.Faults)
+	}
+	if n.Arrival != "" {
+		label += "/" + n.Arrival
 	}
 	return label
 }

@@ -1,0 +1,133 @@
+package results
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/bench"
+)
+
+// addLatencyGroup appends one record with a latency histogram whose
+// observations all equal p999ns, so the summary's merged-hist quantiles land
+// in that value's bucket.
+func addLatencyGroup(t *testing.T, st *Store, reclaimer string, ops float64, p999ns int64) {
+	t.Helper()
+	cfg := testConfig(2, 1)
+	cfg.Reclaimer = reclaimer
+	cfg.Arrival = "poisson:50000"
+	h := &arrival.Hist{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(p999ns)
+	}
+	if err := st.Append(NewRecord(cfg, bench.TrialResult{
+		Scenario: cfg.Scenario, Seed: cfg.Seed, OpsPerSec: ops,
+		Arrival:  "poisson:50000",
+		LatP50Ns: p999ns, LatP99Ns: p999ns, LatP999Ns: p999ns, LatMaxNs: p999ns,
+		Latency: h,
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareLatencyGate(t *testing.T) {
+	oldSt, newSt := NewMemStore(), NewMemStore()
+	// Throughput steady, p999 blown up 10x: an open system can hold its
+	// ops/sec while the tail explodes; the latency gate must flag it.
+	addLatencyGroup(t, oldSt, "debra", 100, 100000)
+	addLatencyGroup(t, newSt, "debra", 100, 1000000)
+	// Within the 4x default factor: not a regression.
+	addLatencyGroup(t, oldSt, "hp", 100, 100000)
+	addLatencyGroup(t, newSt, "hp", 100, 200000)
+	// A shrinking tail is never a regression.
+	addLatencyGroup(t, oldSt, "ibr", 100, 100000)
+	addLatencyGroup(t, newSt, "ibr", 100, 1000)
+
+	rep := Compare(oldSt, newSt, Tolerances{})
+	d := findDelta(t, rep, "debra")
+	if d.Class != ClassRegressed || !d.LatRegressed {
+		t.Fatalf("p999 blowup not gated: %+v", d)
+	}
+	if d.LatRatio < 8 || d.LatRatio > 12 {
+		t.Fatalf("latency ratio = %v, want ~10 (log-bucket resolution)", d.LatRatio)
+	}
+	if d := findDelta(t, rep, "hp"); d.Class != ClassUnchanged || d.LatRegressed {
+		t.Fatalf("within-factor tail growth misclassified: %+v", d)
+	}
+	if d := findDelta(t, rep, "ibr"); d.Class != ClassUnchanged || d.LatRegressed {
+		t.Fatalf("tail shrink misclassified: %+v", d)
+	}
+	if !strings.Contains(rep.String(), "lat×") {
+		t.Fatal("report text missing the latency column")
+	}
+
+	// A custom factor wide enough to admit the 10x blowup.
+	rep = Compare(oldSt, newSt, Tolerances{LatencyFactor: 20})
+	if d := findDelta(t, rep, "debra"); d.Class != ClassUnchanged || d.LatRegressed {
+		t.Fatalf("10x blowup flagged under a 20x gate: %+v", d)
+	}
+}
+
+// TestSummaryMergesLatencyHists pins the pooled-quantile rule: the group
+// quantile comes from the merged histograms, so one bad trial's tail
+// dominates p999 instead of being averaged away.
+func TestSummaryMergesLatencyHists(t *testing.T) {
+	st := NewMemStore()
+	cfg := testConfig(2, 1)
+	cfg.Arrival = "poisson:50000"
+	for trial, v := range map[uint64]int64{1: 1000, 2: 1000, 3: 10000000} {
+		c := cfg
+		c.Seed = trial
+		h := &arrival.Hist{}
+		for i := 0; i < 1000; i++ {
+			h.Observe(v)
+		}
+		if err := st.Append(NewRecord(c, bench.TrialResult{
+			Scenario: c.Scenario, Seed: c.Seed, OpsPerSec: 100,
+			Arrival: "poisson:50000", LatP999Ns: v, LatMaxNs: v, Latency: h,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1 group", len(sums))
+	}
+	s := sums[0]
+	// One of three trials is entirely 10ms observations: p999 of the pooled
+	// distribution must sit in the 10ms mode, far above the 1µs majority.
+	if s.LatP999Ns < 1000000 {
+		t.Fatalf("group p999 = %dns: bad trial's tail averaged away", s.LatP999Ns)
+	}
+	if s.LatMaxNs != 10000000 {
+		t.Fatalf("group max = %dns, want 10ms", s.LatMaxNs)
+	}
+	if s.LatP50Ns > 10000 {
+		t.Fatalf("group p50 = %dns, want in the 1µs majority", s.LatP50Ns)
+	}
+}
+
+// TestKeyCanonicalizesArrival pins the key rules: "" and "none" share the
+// closed-loop key, defaulted parameters share their explicit twin's key,
+// and an open-system config never shares a key with the closed loop.
+func TestKeyCanonicalizesArrival(t *testing.T) {
+	base := testConfig(4, 7)
+	none := base
+	none.Arrival = "none"
+	if KeyOf(base) != KeyOf(none) {
+		t.Fatal(`Arrival "none" keyed differently from the closed loop`)
+	}
+	short := base
+	short.Arrival = "bursty:20000"
+	full := base
+	full.Arrival = "bursty:20000@20ms~0.1"
+	if KeyOf(short) != KeyOf(full) {
+		t.Fatal("defaulted bursty parameters keyed differently from their explicit spelling")
+	}
+	if KeyOf(base) == KeyOf(full) {
+		t.Fatal("open-system config shares the closed-loop key")
+	}
+	if !strings.Contains(Label(full), "bursty:20000@20ms~0.1") {
+		t.Fatalf("label %q does not carry the arrival process", Label(full))
+	}
+}

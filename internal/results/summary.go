@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 )
 
@@ -43,6 +44,15 @@ type Summary struct {
 	// MeanPctStall is the mean share of thread-time in blocking grace-period
 	// waits.
 	MeanPctStall float64 `json:"mean_pct_stall"`
+	// LatP50Ns/LatP99Ns/LatP999Ns/LatMaxNs are open-system queueing-latency
+	// quantiles over the group's trials, computed on the *merged* per-trial
+	// histograms (quantiles of the pooled observations, not averages of
+	// per-trial quantiles — averaging would hide a single bad trial's tail).
+	// All zero for closed-loop groups.
+	LatP50Ns  int64 `json:"lat_p50_ns,omitempty"`
+	LatP99Ns  int64 `json:"lat_p99_ns,omitempty"`
+	LatP999Ns int64 `json:"lat_p999_ns,omitempty"`
+	LatMaxNs  int64 `json:"lat_max_ns,omitempty"`
 	// Quarantined counts this group's quarantined (permanently failed)
 	// trials; they are excluded from every statistic above and from N.
 	Quarantined int `json:"quarantined,omitempty"`
@@ -82,8 +92,10 @@ func summarize(all []Record) Summary {
 		MaxOps:      recs[0].Trial.OpsPerSec,
 	}
 	s.Config.Seed = 0
+	var lat arrival.Hist
 	for _, r := range recs {
 		ops := r.Trial.OpsPerSec
+		lat.Merge(r.Trial.Latency)
 		s.Seeds = append(s.Seeds, r.Seed)
 		s.MeanOps += ops
 		s.MeanPeakMiB += r.Trial.PeakMiB
@@ -107,6 +119,12 @@ func summarize(all []Record) Summary {
 	s.MeanPctLock /= n
 	s.MeanPeakLimbo /= n
 	s.MeanPctStall /= n
+	if lat.Count() > 0 {
+		s.LatP50Ns = lat.Quantile(0.50)
+		s.LatP99Ns = lat.Quantile(0.99)
+		s.LatP999Ns = lat.Quantile(0.999)
+		s.LatMaxNs = lat.Max()
+	}
 	if len(recs) > 1 {
 		var ss float64
 		for _, r := range recs {

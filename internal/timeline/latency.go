@@ -1,0 +1,42 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/arrival"
+)
+
+// RenderLatencyASCII draws an open-system latency histogram as an ASCII bar
+// chart, one row per non-empty log bucket, with a quantile header. It is the
+// latency counterpart of RenderGarbageCurve: experiments print it so a tail
+// blowup is visible at a glance, not just as a p999 number.
+func RenderLatencyASCII(h *arrival.Hist, width int) string {
+	if h == nil || h.Count() == 0 {
+		return "(no latency observations)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency: n=%d mean=%s p50=%s p99=%s p999=%s max=%s\n",
+		h.Count(),
+		time.Duration(int64(h.Mean())),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Quantile(0.999)),
+		time.Duration(h.Max()))
+	var peak int64 = 1
+	h.Each(func(lo, hi, n int64) {
+		if n > peak {
+			peak = n
+		}
+	})
+	h.Each(func(lo, hi, n int64) {
+		bar := int(int64(width) * n / peak)
+		fmt.Fprintf(&b, "%12s |%-*s| %d\n",
+			time.Duration(lo).String(), width, strings.Repeat("#", bar), n)
+	})
+	return b.String()
+}

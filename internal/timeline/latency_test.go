@@ -1,0 +1,42 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arrival"
+)
+
+func TestRenderLatencyASCII(t *testing.T) {
+	if got := RenderLatencyASCII(nil, 40); !strings.Contains(got, "no latency") {
+		t.Fatalf("nil hist rendered %q", got)
+	}
+	var empty arrival.Hist
+	if got := RenderLatencyASCII(&empty, 40); !strings.Contains(got, "no latency") {
+		t.Fatalf("empty hist rendered %q", got)
+	}
+	var h arrival.Hist
+	for i := 0; i < 900; i++ {
+		h.Observe(50_000) // 50µs mode
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10_000_000) // 10ms tail
+	}
+	out := RenderLatencyASCII(&h, 40)
+	if !strings.Contains(out, "n=910") {
+		t.Fatalf("header missing count:\n%s", out)
+	}
+	for _, want := range []string{"p50=", "p99=", "p999=", "max=10ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("header missing %q:\n%s", want, out)
+		}
+	}
+	// The dominant bucket renders a full-width bar; the tail bucket at least
+	// one row of its own.
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Fatalf("no full-width bar for the modal bucket:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 3 {
+		t.Fatalf("expected header plus at least two bucket rows:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@
 # Env:   BENCHTIME=200ms   go test -benchtime value
 #        GRID_DUR=40ms     per-trial window of the grid smoke sweep
 #        RECTIME=500ms     -benchtime of the recording-overhead comparison
+#        LAT_DUR=600ms     per-trial window of the open-system latency sweep
 #
 # Besides emitting the artifact, the script asserts the recording pipeline's
 # overhead budget: recorded trials must self-report < 2% host overhead
@@ -35,6 +36,7 @@ esac
 benchtime="${BENCHTIME:-200ms}"
 grid_dur="${GRID_DUR:-40ms}"
 rectime="${RECTIME:-500ms}"
+lat_dur="${LAT_DUR:-600ms}"
 
 raw="$(go test -run=NONE -bench=. -benchtime="$benchtime" ./internal/...)"
 printf '%s\n' "$raw"
@@ -104,6 +106,40 @@ hp_blowup="$(awk -v h="$hp_healthy" -v f="$hp_faulted" 'BEGIN { printf "%.2f", f
 printf 'robustness: stalled-reader peak-limbo blowup debra %s x (healthy %s -> faulted %s), hp %s x (healthy %s -> faulted %s)\n' \
   "$debra_blowup" "$debra_healthy" "$debra_faulted" "$hp_blowup" "$hp_healthy" "$hp_faulted"
 
+# Open-system latency sweep: one unbounded epoch-based and one bounded
+# hazard-family reclaimer under a 10x bursty arrival process, each healthy
+# and with a stalled reader, so the artifact records the tail-latency
+# dichotomy as a tracked number: the stall turns into queueing delay, and
+# the unbounded scheme's stalled p999 should sit at or above the bounded
+# one's. -parallel stays 1: latency quantiles are timing measurements.
+lat_arrival="bursty:150000@20ms~0.1"
+lat_faults="stall:w0@5000~60000"
+go run ./cmd/epochgrid \
+  -reclaimers debra,hp -threads 4 -arrivals "$lat_arrival" \
+  -faults "none;$lat_faults" -dur "$lat_dur" -keyrange 4096 \
+  -deadline 30s -trials 1 -parallel 1 \
+  -format json -out "$tmpdir/latency-grid.json"
+
+read -r lat_debra_healthy lat_debra_stalled lat_hp_healthy lat_hp_stalled <<EOF2
+$(awk '
+  /"faults":/ { faulted = 1 }
+  /"reclaimer":/ { rec = $2; gsub(/[",]/, "", rec) }
+  /"lat_p999_ms":/ {
+    v = $2; gsub(/,/, "", v)
+    p999[rec (faulted ? "_stalled" : "_healthy")] = v
+    faulted = 0
+  }
+  END { print p999["debra_healthy"], p999["debra_stalled"], p999["hp_healthy"], p999["hp_stalled"] }
+' "$tmpdir/latency-grid.json")
+EOF2
+if [ -z "${lat_hp_stalled:-}" ]; then
+  echo "bench-json: latency sweep produced no p999 numbers" >&2
+  exit 1
+fi
+lat_ratio="$(awk -v u="$lat_debra_stalled" -v b="$lat_hp_stalled" 'BEGIN { printf "%.2f", u / (b > 0.001 ? b : 0.001) }')"
+printf 'latency: stalled p999 debra %sms (healthy %sms), hp %sms (healthy %sms), unbounded/bounded ratio %s\n' \
+  "$lat_debra_stalled" "$lat_debra_healthy" "$lat_hp_stalled" "$lat_hp_healthy" "$lat_ratio"
+
 # Recording-overhead comparison: recorded vs unrecorded end-to-end trials,
 # side by side. Three counts each; best-of scoring (see header comment).
 rec_raw="$(go test -run=NONE -bench='BenchmarkTrial(Unrecorded|Recorded|Paired)$' \
@@ -166,6 +202,8 @@ gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
     "$rectime" "$unrec_ops" "$unrec_pct" "$rec_ops" "$rec_pct" "$pair_ratio" "$pair_pct"
   printf '  "robustness": {"faults": "stall:w0@512~16384", "debra": {"healthy_peak_limbo": %s, "faulted_peak_limbo": %s, "blowup": %s}, "hp": {"healthy_peak_limbo": %s, "faulted_peak_limbo": %s, "blowup": %s}},\n' \
     "$debra_healthy" "$debra_faulted" "$debra_blowup" "$hp_healthy" "$hp_faulted" "$hp_blowup"
+  printf '  "latency": {"arrival": "%s", "faults": "%s", "dur": "%s", "debra": {"healthy_p999_ms": %s, "stalled_p999_ms": %s}, "hp": {"healthy_p999_ms": %s, "stalled_p999_ms": %s}, "stalled_ratio": %s},\n' \
+    "$lat_arrival" "$lat_faults" "$lat_dur" "$lat_debra_healthy" "$lat_debra_stalled" "$lat_hp_healthy" "$lat_hp_stalled" "$lat_ratio"
   printf '  "benchmarks": '
   cat "$tmpdir/benchmarks.json"
   printf ',\n  "grid": '
@@ -180,3 +218,15 @@ if ! awk -v p="$pair_pct" -v rt="$pair_ratio" 'BEGIN { exit !(p + 0 < 2 && rt + 
   exit 1
 fi
 echo "recording overhead gate passed (pct_host $pair_pct < 2, paired ratio $pair_ratio% >= 95%)"
+
+# Latency gate, deliberately lenient: burst-window tails are noisy on shared
+# runners, so the gate only asserts the dichotomy's direction — both schemes
+# observed a tail at all, and the unbounded scheme's stalled p999 did not
+# fall below the bounded scheme's. The strict cross-scheme factor lives in
+# the CI latency-smoke job's poisson sweep, which is far more stable.
+if ! awk -v u="$lat_debra_stalled" -v b="$lat_hp_stalled" \
+    'BEGIN { exit !(u + 0 > 0 && b + 0 > 0 && u + 0 >= b + 0) }'; then
+  echo "bench-json: latency gate FAILED (need debra stalled p999 >= hp stalled p999 > 0; got debra $lat_debra_stalled ms, hp $lat_hp_stalled ms)" >&2
+  exit 1
+fi
+echo "latency gate passed (debra stalled p999 $lat_debra_stalled ms >= hp $lat_hp_stalled ms)"
