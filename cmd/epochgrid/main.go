@@ -29,6 +29,16 @@
 // crosses closed-loop controls with open-system configs; summaries then
 // carry pooled p99/p999 latency columns in every output format.
 //
+// Distributed sweeps split one grid across processes (or machines) under
+// time-bounded leases, converging on the same store a local sweep would:
+//
+//	epochgrid -serve :7712 -store sweep.jsonl -reclaimers debra,hp -trials 3
+//	epochgrid -worker http://host:7712        # one per machine/core
+//
+// Workers that die mid-trial lose their lease and the trial is re-issued;
+// duplicate completions dedupe by trial key; a killed coordinator restarts
+// with the same -serve flags and resumes from the store. See internal/fleet.
+//
 // Regression diff between two stores:
 //
 //	epochgrid -compare old.jsonl -with new.jsonl -tol 0.05 -lat-tol 4
@@ -77,6 +87,12 @@ func realMain() int {
 		arrFlag    = flag.String("arrivals", "", "arrival-process axis: processes separated by ';', each KIND:RATE[@PERIOD][~PARAM] (empty segment or \"none\" = closed-loop control, e.g. \"none;poisson:150000\"); see -list")
 		deadline   = flag.Duration("deadline", 0, "per-trial watchdog deadline: abort a trial whose op progress stalls this long (0 = no watchdog)")
 		retries    = flag.Int("retries", 0, "re-execute a failed trial this many times before quarantining it")
+		backoff    = flag.Duration("backoff", 0, "base delay between trial retries, doubled with seeded jitter (default 50ms)")
+		serveAddr  = flag.String("serve", "", "coordinator mode: serve the sweep's trials under leases on this address (e.g. :7712); requires -store")
+		workerURL  = flag.String("worker", "", "worker mode: pull leased trials from the coordinator at this URL (e.g. http://host:7712)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: how long a worker may hold a trial without renewing before it is re-issued")
+		workerName = flag.String("worker-name", "", "worker mode: name journaled with claims (default host:pid)")
+		spoolPath  = flag.String("spool", "", "worker mode: local JSONL spool for records the coordinator could not receive (default: auto temp path; \"none\" disables)")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
 		fixedOps   = flag.Int("ops", 0, "run exactly N ops per thread instead of the wall-clock window (deterministic with 1 thread)")
 		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
@@ -110,6 +126,12 @@ func realMain() int {
 
 	if *compareOld != "" || *compareNew != "" {
 		return runCompare(*compareOld, *compareNew, *tol, *limboTol, *latTol, *format, *outPath)
+	}
+
+	if *workerURL != "" {
+		// Worker mode ignores the sweep axes: the coordinator owns the spec,
+		// the worker just executes what it is leased.
+		return runWorker(*workerURL, *retries, *backoff, *workerName, *spoolPath, *progress)
 	}
 
 	spec := grid.Spec{
@@ -196,7 +218,11 @@ func realMain() int {
 		return 2
 	}
 
-	runner := &grid.Runner{Parallel: *parallel, Budget: *budget, Deadline: *deadline, Retries: *retries}
+	if *serveAddr != "" {
+		return runServe(*serveAddr, spec, *storePath, *leaseTTL, *deadline, *format, *outPath, *progress)
+	}
+
+	runner := &grid.Runner{Parallel: *parallel, Budget: *budget, Deadline: *deadline, Retries: *retries, Backoff: *backoff}
 	if *storePath != "" {
 		st, err := results.Open(*storePath)
 		if err != nil {
@@ -365,6 +391,24 @@ func peakLimboOf(s bench.Summary) float64 {
 	return sum / float64(len(s.Trials))
 }
 
+// hostOf renders the distinct hosts a summary's trials ran on, ';'-joined in
+// first-appearance order. Single-process sweeps yield one host; a fleet
+// sweep's summaries name every machine that contributed, so distributed
+// results are traceable without opening the store. Empty for records that
+// predate provenance stamping.
+func hostOf(s bench.Summary) string {
+	var hosts []string
+	seen := map[string]bool{}
+	for _, tr := range s.Trials {
+		if tr.Host == "" || seen[tr.Host] {
+			continue
+		}
+		seen[tr.Host] = true
+		hosts = append(hosts, tr.Host)
+	}
+	return strings.Join(hosts, ";")
+}
+
 // droppedOf sums recordable timeline events lost to full recorder buffers
 // across a summary's trials. Non-zero only for recorded configurations whose
 // timelines were truncated; surfaced in every format so clipped recordings
@@ -396,7 +440,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{
 			"scenario", "phases", "faults", "arrival", "ds", "allocator", "reclaimer", "threads", "batch",
-			"seeds", "trials", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
+			"seeds", "trials", "host", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
 			"mean_peak_limbo", "lat_p99_ms", "lat_p999_ms", "dropped",
 		}); err != nil {
 			return err
@@ -406,7 +450,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			if err := cw.Write([]string{
 				s.Cfg.Scenario, phasesOf(s), faultsOf(s), arrivalOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				strconv.Itoa(s.Cfg.Threads), strconv.Itoa(s.Cfg.BatchSize),
-				seedList(s), strconv.Itoa(len(s.Trials)),
+				seedList(s), strconv.Itoa(len(s.Trials)), hostOf(s),
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
 				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
 				fmt.Sprintf("%.1f", peakLimboOf(s)),
@@ -431,6 +475,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			BatchSize     int      `json:"batch"`
 			Seeds         []uint64 `json:"seeds"`
 			Trials        int      `json:"trials"`
+			Host          string   `json:"host,omitempty"`
 			MeanOps       float64  `json:"mean_ops"`
 			MinOps        float64  `json:"min_ops"`
 			MaxOps        float64  `json:"max_ops"`
@@ -461,7 +506,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 				DataStructure: s.Cfg.DataStructure,
 				Allocator:     s.Cfg.Allocator, Reclaimer: s.Cfg.Reclaimer,
 				Threads: s.Cfg.Threads, BatchSize: s.Cfg.BatchSize,
-				Trials:  len(s.Trials),
+				Trials: len(s.Trials), Host: hostOf(s),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
 				MeanPeakMiB: s.MeanPeakMiB, MeanPeakLimbo: peakLimboOf(s),
 				LatP99Ms: p99, LatP999Ms: p999,

@@ -248,6 +248,7 @@ func (s *Stack) Snapshot(ops int64, wall time.Duration) TrialResult {
 	res.HostClockReads = res.Alloc.ClockReads + res.SMR.ClockReads + s.Recorder.ClockReads()
 	res.HostOverheadNanos = int64(float64(res.HostClockReads) * clock.ReadCostNs())
 	res.PctHostOverhead = simalloc.PctOf(res.HostOverheadNanos, wall, s.cfg.Threads)
+	stampProvenance(&res)
 	return res
 }
 

@@ -210,5 +210,7 @@ func abandonedResult(cfg *WorkloadConfig, wd *watchdog) (TrialResult, error) {
 	if terr == nil {
 		terr = &TrialError{Reason: "bench: trial abandoned with workers wedged"}
 	}
-	return TrialResult{Scenario: cfg.Scenario, Seed: cfg.Seed, Error: terr.Reason}, terr
+	res := TrialResult{Scenario: cfg.Scenario, Seed: cfg.Seed, Error: terr.Reason}
+	stampProvenance(&res)
+	return res, terr
 }

@@ -17,6 +17,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -230,6 +231,16 @@ type TrialResult struct {
 	// Error carries the abort reason of a watchdog-aborted trial; empty on
 	// success. The full diagnostics ride the *TrialError RunTrial returns.
 	Error string `json:",omitempty"`
+	// Host, GoVersion, and Procs are execution provenance: the hostname,
+	// Go toolchain version, and GOMAXPROCS the trial ran under. Stamped on
+	// every trial so a store merged from several fleet workers stays
+	// auditable — a surprising number traces back to the machine that
+	// produced it. None of these are hashed into keys (the schema version
+	// already is): a trial's identity is its configuration, and provenance
+	// is testimony about one execution of it.
+	Host      string `json:",omitempty"`
+	GoVersion string `json:",omitempty"`
+	Procs     int    `json:",omitempty"`
 	// Host-overhead self-report: how much wall time the harness spent on
 	// measurement itself rather than modeled work. HostClockReads is the
 	// allocator's exact stamp count (simalloc.Stats.ClockReads — slow paths
@@ -254,6 +265,22 @@ type TrialResult struct {
 	// Recorder holds timeline events when recording was enabled. It is
 	// excluded from JSON so results can be persisted (see internal/results).
 	Recorder *timeline.Recorder `json:"-"`
+}
+
+// provenance is the per-process execution provenance stamped into every
+// TrialResult, resolved once (hostname via one syscall at first use).
+var provenance = sync.OnceValues(func() (host string, gover string) {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return host, runtime.Version()
+})
+
+// stampProvenance fills the TrialResult provenance fields (see TrialResult).
+func stampProvenance(res *TrialResult) {
+	res.Host, res.GoVersion = provenance()
+	res.Procs = runtime.GOMAXPROCS(0)
 }
 
 // rng is a per-thread xorshift generator; math/rand's global lock would

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/results"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosFleetConverges is the headline robustness test: two workers behind
+// seeded fault transports (dropped, duplicated, and delayed RPCs), one of
+// them killed mid-sweep, against a short-TTL coordinator — and the sweep
+// still converges to the exact record set a clean single-process run
+// produces: every trial done, one record per key, nothing lost.
+func TestChaosFleetConverges(t *testing.T) {
+	cfgs := tinyCfgs(3)
+	const trials = 2
+
+	soloStore := results.NewMemStore()
+	if _, err := (&grid.Runner{Store: soloStore}).Run(cfgs, trials); err != nil {
+		t.Fatal(err)
+	}
+
+	fleetStore := results.NewMemStore()
+	coord, err := NewCoordinator(cfgs, trials, CoordinatorConfig{
+		Store: fleetStore, LeaseTTL: 300 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startFleet(t, coord)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	newChaosWorker := func(name string, seed uint64) *Worker {
+		ft := NewFaultTransport(srv.Client().Transport, seed)
+		ft.DropP, ft.DupP, ft.DelayP = 0.15, 0.15, 0.15
+		ft.Delay = time.Millisecond
+		return &Worker{
+			Client: &Client{Base: srv.URL, HTTP: &http.Client{Transport: ft},
+				Timeout: 5 * time.Second, Retries: 10, RetryBase: time.Millisecond, Seed: seed},
+			Runner:    &grid.Runner{},
+			Name:      name,
+			SpoolPath: filepath.Join(t.TempDir(), name+".spool.jsonl"),
+		}
+	}
+
+	// The victim worker is "killed" (context canceled — the in-process stand-
+	// in for kill -9; the CI smoke script does it with a real SIGKILL) as soon
+	// as it holds a lease. Its trial must be re-issued and finished by the
+	// survivor.
+	victimCtx, kill := context.WithCancel(ctx)
+	victim := newChaosWorker("victim", 1)
+	var victimDone sync.WaitGroup
+	victimDone.Add(1)
+	go func() {
+		defer victimDone.Done()
+		victim.Run(victimCtx)
+	}()
+	waitFor(t, 30*time.Second, "victim to hold a lease", func() bool {
+		return coord.Status().Leased > 0
+	})
+	kill()
+	victimDone.Wait()
+
+	survivor := newChaosWorker("survivor", 2)
+	stats, err := survivor.Run(ctx)
+	if err != nil {
+		t.Fatalf("survivor: %v (stats %+v, status %+v)", err, stats, coord.Status())
+	}
+
+	st := coord.Status()
+	if !st.Complete {
+		t.Fatalf("sweep did not converge: %+v", st)
+	}
+	if got, want := sortedKeys(fleetStore), sortedKeys(soloStore); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos sweep diverged from single-process result set:\n got %v\nwant %v", got, want)
+	}
+	for _, k := range fleetStore.Keys() {
+		if n := len(fleetStore.Get(k)); n != 1 {
+			t.Fatalf("key %s has %d records after chaos, want exactly 1", k, n)
+		}
+	}
+	if st.Executed+st.Cached+st.Quarantined != st.Total {
+		t.Fatalf("accounting does not partition the sweep: %+v", st)
+	}
+	t.Logf("chaos run: %+v; survivor stats %+v", st, stats)
+}
+
+// TestChaosWorkerSpoolsThroughPartition: a worker that loses the coordinator
+// right before completing finishes its trial, spools the record locally,
+// and replays it on reconnect — no result is lost to the partition.
+func TestChaosWorkerSpoolsThroughPartition(t *testing.T) {
+	cfgs := tinyCfgs(2)
+	store := results.NewMemStore()
+	coord, err := NewCoordinator(cfgs, 1, CoordinatorConfig{
+		Store: store, LeaseTTL: 10 * time.Second, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startFleet(t, coord)
+
+	ft := NewFaultTransport(srv.Client().Transport, 7)
+	spool := filepath.Join(t.TempDir(), "spool.jsonl")
+	w := &Worker{
+		Client: &Client{Base: srv.URL, HTTP: &http.Client{Transport: ft},
+			Timeout: time.Second, Retries: 1, RetryBase: time.Millisecond, Seed: 7},
+		Runner:    &grid.Runner{},
+		Name:      "partitioned",
+		SpoolPath: spool,
+		Logf:      t.Logf,
+	}
+
+	// Sever the link the moment the first lease is granted: the in-flight
+	// trial finishes against a dead coordinator.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var stats WorkerStats
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, runErr = w.Run(ctx)
+	}()
+	waitFor(t, 30*time.Second, "first lease", func() bool { return coord.Status().Leased > 0 })
+	ft.Sever()
+	// The worker completes the trial, fails to deliver, spools, and starts
+	// its reconnect loop.
+	waitFor(t, 30*time.Second, "record to hit the spool", func() bool {
+		return w.Stats().Spooled == 1
+	})
+	if data, err := os.ReadFile(spool); err != nil || len(data) == 0 {
+		t.Fatalf("spool file missing or empty after partition: %v", err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("severed worker somehow delivered a record")
+	}
+	ft.Heal()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("worker: %v", runErr)
+	}
+
+	st := coord.Status()
+	if !st.Complete || st.Executed != 2 {
+		t.Fatalf("post-partition sweep incomplete: %+v", st)
+	}
+	if stats.Spooled != 1 || stats.Replayed != 1 || stats.Reconnects < 1 {
+		t.Fatalf("spool cycle not observed: %+v", stats)
+	}
+	if _, err := os.Stat(spool); !os.IsNotExist(err) {
+		t.Fatalf("replayed spool should be removed, stat err = %v", err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store has %d records, want 2", store.Len())
+	}
+}
+
+// TestChaosCoordinatorRestartMidSweep kills the coordinator after the first
+// completion and brings a new one up on the same store file and URL. The
+// worker rides out the outage (degraded mode) and the replacement resumes
+// from the journal: already-completed trials are cached, only the remainder
+// executes, and the final store is exactly one record per trial.
+func TestChaosCoordinatorRestartMidSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	cfgs := tinyCfgs(3)
+
+	st1, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1, err := NewCoordinator(cfgs, 1, CoordinatorConfig{Store: st1, LeaseTTL: 5 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server routes through an atomic handler pointer so "restart" swaps
+	// coordinators without changing the URL (same host:port, new process).
+	var handler atomic.Value
+	handler.Store(coord1.Handler())
+	var down atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "coordinator down", http.StatusServiceUnavailable)
+			return
+		}
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w := &Worker{
+		Client: &Client{Base: srv.URL, HTTP: srv.Client(), Timeout: time.Second,
+			Retries: 1, RetryBase: time.Millisecond, Seed: 3},
+		Runner:    &grid.Runner{},
+		Name:      "steady",
+		SpoolPath: filepath.Join(t.TempDir(), "spool.jsonl"),
+		Logf:      t.Logf,
+	}
+	var wg sync.WaitGroup
+	var stats WorkerStats
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, runErr = w.Run(ctx)
+	}()
+
+	// Crash the coordinator after the first completion lands.
+	waitFor(t, 30*time.Second, "first completion", func() bool { return coord1.Status().Done >= 1 })
+	down.Store(true)
+	doneAtCrash := coord1.Status().Done
+	st1.Close()
+
+	// Restart: fresh store over the same file (the journal), fresh
+	// coordinator, same URL.
+	st2, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	coord2, err := NewCoordinator(cfgs, 1, CoordinatorConfig{Store: st2, LeaseTTL: 5 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coord2.Status().Cached; got < doneAtCrash {
+		t.Fatalf("restarted coordinator resumed %d cached trials, want >= %d", got, doneAtCrash)
+	}
+	handler.Store(coord2.Handler())
+	down.Store(false)
+
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("worker: %v (stats %+v)", runErr, stats)
+	}
+	st := coord2.Status()
+	if !st.Complete {
+		t.Fatalf("restarted sweep did not converge: %+v", st)
+	}
+	if st.Executed+st.Cached != st.Total {
+		t.Fatalf("restart accounting: %+v", st)
+	}
+	if st2.Len() != st.Total {
+		t.Fatalf("store has %d records, want %d", st2.Len(), st.Total)
+	}
+
+	// And a second restart over the finished sweep executes nothing.
+	st3, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	coord3, err := NewCoordinator(cfgs, 1, CoordinatorConfig{Store: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := coord3.Status(); !fin.Complete || fin.Executed != 0 || fin.Cached+fin.Quarantined != fin.Total {
+		t.Fatalf("restart over a finished sweep must execute nothing: %+v", fin)
+	}
+}
+
+// TestChaosDuplicatedCompletionRPC: the fault transport's duplicate fault
+// delivers the same completion twice at the HTTP layer (a retransmit where
+// both copies reach the server); the store must end up with exactly one
+// record (AppendIfAbsent) and the second copy must resolve as a duplicate.
+func TestChaosDuplicatedCompletionRPC(t *testing.T) {
+	cfgs := tinyCfgs(1)
+	store := results.NewMemStore()
+	coord, err := NewCoordinator(cfgs, 1, CoordinatorConfig{Store: store, LeaseTTL: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startFleet(t, coord)
+
+	// Lease in-process (no faults on the grant path), then deliver the
+	// completion through a transport that duplicates every request.
+	l, err := coord.Lease("dup")
+	if err != nil || l.Status != StatusLease {
+		t.Fatalf("lease: %+v, %v", l, err)
+	}
+	ft := NewFaultTransport(srv.Client().Transport, 11)
+	ft.DupP = 1.0
+	cl := &Client{Base: srv.URL, HTTP: &http.Client{Transport: ft},
+		Timeout: 5 * time.Second, Retries: 0, Seed: 11}
+	resp, err := cl.Complete(context.Background(), CompleteRequest{
+		LeaseID: l.LeaseID, Worker: "dup", Key: l.Key,
+		Record: results.NewRecord(l.Config, fakeTrial(l.Config)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller sees the SECOND copy's response: by then the first already
+	// landed, so the visible answer is the deduped acknowledgement.
+	if !resp.Accepted || !resp.Duplicate {
+		t.Fatalf("second copy of a duplicated completion should dedupe: %+v", resp)
+	}
+	st := coord.Status()
+	if !st.Complete || st.Executed != 1 || st.Duplicates != 1 {
+		t.Fatalf("sweep under duplicated completion: %+v", st)
+	}
+	if n := len(store.Get(l.Key)); n != 1 {
+		t.Fatalf("key has %d records, want 1", n)
+	}
+}

@@ -1,0 +1,395 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/results"
+)
+
+// taskState tracks one expanded trial through the lease lifecycle.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+)
+
+// fleetTask is one expanded trial: its content address, effective config,
+// and position in the summary layout.
+type fleetTask struct {
+	key              string
+	cfg              bench.WorkloadConfig
+	cfgIdx, trialIdx int
+	state            taskState
+	leaseID          string
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id      string
+	taskIdx int
+	worker  string
+	expires time.Time
+}
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// Store caches, persists, and dedupes trials; required. Trials whose
+	// keys are already present are marked done at construction (resume).
+	Store *results.Store
+	// LeaseTTL bounds how long a worker may hold a trial without renewing;
+	// <= 0 means 30s. Too short re-issues slow trials (harmless — dedupe —
+	// but wasteful); too long delays recovery from a dead worker by the
+	// whole TTL.
+	LeaseTTL time.Duration
+	// Deadline/Faults are the runner-level defaults applied to every config
+	// before key computation, exactly as grid.Runner would (ExpandTasks).
+	Deadline time.Duration
+	Faults   []bench.FaultSpec
+	// Clock is the time source; nil means time.Now. Injectable so lease
+	// expiry is testable without real waits.
+	Clock func() time.Time
+	// Logf, when set, receives one line per fleet event (grants, expiries,
+	// completions, duplicates). Serialized under the coordinator lock.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns one sweep: the expanded trial list, the lease table, and
+// the store. All state transitions happen under one lock; persistence goes
+// through the store's crash-safe append log, so a coordinator killed at any
+// point restarts from the store with nothing lost — completed trials are
+// skipped, incomplete ones re-issued (their stale claims are journal
+// entries, not commitments).
+type Coordinator struct {
+	store *results.Store
+	ttl   time.Duration
+	now   func() time.Time
+	logf  func(string, ...any)
+
+	mu     sync.Mutex
+	eff    []bench.WorkloadConfig
+	trials int
+	tasks  []*fleetTask
+	byKey  map[string][]int
+	leases map[string]*lease
+	seq    int
+
+	executed, cached, quarantined int
+	duplicates, reissued          int
+	doneCount                     int
+	doneCh                        chan struct{}
+}
+
+// NewCoordinator expands cfgs×trials with the runner's seed-chain convention
+// and builds the coordinator over the store. Trials already in the store
+// (including quarantines) are done before the first lease is granted — this
+// is what makes a coordinator restart resume instead of re-running.
+func NewCoordinator(cfgs []bench.WorkloadConfig, trials int, cc CoordinatorConfig) (*Coordinator, error) {
+	if cc.Store == nil {
+		return nil, fmt.Errorf("fleet: coordinator requires a store")
+	}
+	ttl := cc.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	now := cc.Clock
+	if now == nil {
+		now = time.Now
+	}
+	logf := cc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	eff, expanded := grid.ExpandTasks(cfgs, trials, cc.Faults, cc.Deadline)
+	c := &Coordinator{
+		store:  cc.Store,
+		ttl:    ttl,
+		now:    now,
+		logf:   logf,
+		eff:    eff,
+		trials: trials,
+		byKey:  map[string][]int{},
+		leases: map[string]*lease{},
+		doneCh: make(chan struct{}),
+	}
+	for _, t := range expanded {
+		ft := &fleetTask{
+			key:    results.KeyOf(t.Cfg),
+			cfg:    t.Cfg,
+			cfgIdx: t.CfgIdx, trialIdx: t.TrialIdx,
+		}
+		idx := len(c.tasks)
+		c.tasks = append(c.tasks, ft)
+		c.byKey[ft.key] = append(c.byKey[ft.key], idx)
+		if recs := c.store.Get(ft.key); len(recs) > 0 {
+			ft.state = taskDone
+			c.doneCount++
+			if recs[0].Quarantined {
+				c.quarantined++
+			} else {
+				c.cached++
+			}
+		}
+	}
+	if c.doneCount == len(c.tasks) {
+		close(c.doneCh)
+	}
+	return c, nil
+}
+
+// reclaimExpiredLocked returns every expired lease's trial to the pending
+// pool. Called lazily on each lease request — there is no background timer
+// to race with, which keeps expiry deterministic under an injected clock.
+func (c *Coordinator) reclaimExpiredLocked() {
+	now := c.now()
+	for id, l := range c.leases {
+		if l.expires.After(now) {
+			continue
+		}
+		delete(c.leases, id)
+		t := c.tasks[l.taskIdx]
+		if t.state == taskLeased && t.leaseID == id {
+			t.state = taskPending
+			t.leaseID = ""
+			c.reissued++
+			c.logf("fleet: lease %s (%s) from %s expired; re-issuing %s",
+				id, short(t.key), l.worker, results.Label(t.cfg))
+		}
+	}
+}
+
+// Lease grants the next pending trial to worker, journaling the claim. When
+// everything is leased-but-unfinished it answers StatusWait; when the sweep
+// is complete, StatusDone.
+func (c *Coordinator) Lease(worker string) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimExpiredLocked()
+	if c.doneCount == len(c.tasks) {
+		return LeaseResponse{Status: StatusDone}, nil
+	}
+	for i, t := range c.tasks {
+		if t.state != taskPending {
+			continue
+		}
+		c.seq++
+		id := fmt.Sprintf("L%d", c.seq)
+		expires := c.now().Add(c.ttl)
+		// Journal the claim before answering: if the append fails the
+		// store is broken and granting would strand the trial's result.
+		if err := c.store.Append(results.NewClaim(t.key, worker, expires)); err != nil {
+			return LeaseResponse{}, fmt.Errorf("fleet: journaling claim: %w", err)
+		}
+		t.state = taskLeased
+		t.leaseID = id
+		c.leases[id] = &lease{id: id, taskIdx: i, worker: worker, expires: expires}
+		c.logf("fleet: leased %s (%s) to %s until %s",
+			results.Label(t.cfg), short(t.key), worker, expires.Format(time.RFC3339))
+		return LeaseResponse{
+			Status: StatusLease, LeaseID: id, Key: t.key, Config: t.cfg,
+			ExpiresUnixNano: expires.UnixNano(),
+		}, nil
+	}
+	retry := c.ttl / 8
+	if retry > 250*time.Millisecond {
+		retry = 250 * time.Millisecond
+	}
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return LeaseResponse{Status: StatusWait, RetryMs: int(retry.Milliseconds())}, nil
+}
+
+// Renew extends a held lease. A false OK means the lease already expired
+// (and the trial may be re-issued): the worker should finish anyway and let
+// dedupe sort it out.
+func (c *Coordinator) Renew(req RenewRequest) RenewResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimExpiredLocked() // an expired lease is gone even if nobody leased since
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		return RenewResponse{OK: false}
+	}
+	l.expires = c.now().Add(c.ttl)
+	return RenewResponse{OK: true, ExpiresUnixNano: l.expires.UnixNano()}
+}
+
+// Complete accepts a finished trial. Identity is the key, not the lease: a
+// completion whose lease expired (or that arrives twice via a duplicated
+// RPC) is still the same content-addressed trial, so the first one in wins
+// and the rest are acknowledged as duplicates. The record is persisted
+// through AppendIfAbsent before the trial is marked done — a crash between
+// the two at worst re-issues an already-stored trial, whose completion then
+// dedupes; the store never ends up with two records for one key.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idxs, ok := c.byKey[req.Key]
+	if !ok {
+		c.logf("fleet: rejecting completion of unknown key %s from %s", req.Key, req.Worker)
+		return CompleteResponse{Accepted: false}, nil
+	}
+	delete(c.leases, req.LeaseID)
+	allDone := true
+	for _, i := range idxs {
+		if c.tasks[i].state != taskDone {
+			allDone = false
+		}
+	}
+	if allDone {
+		c.duplicates++
+		c.logf("fleet: duplicate completion of %s from %s (dedupe)", short(req.Key), req.Worker)
+		return CompleteResponse{Accepted: true, Duplicate: true, Done: c.doneCount == len(c.tasks)}, nil
+	}
+	rec := req.Record
+	rec.Worker = req.Worker
+	added, err := c.store.AppendIfAbsent(rec)
+	if err != nil {
+		return CompleteResponse{}, fmt.Errorf("fleet: persisting completion: %w", err)
+	}
+	for _, i := range idxs {
+		t := c.tasks[i]
+		if t.state == taskDone {
+			continue
+		}
+		t.state = taskDone
+		t.leaseID = ""
+		c.doneCount++
+	}
+	switch {
+	case !added:
+		// The key was already in the store (it arrived by merge or a
+		// concurrent writer) but the task was not yet marked done — count
+		// it as cached, like a startup hit.
+		c.cached++
+	case rec.Quarantined:
+		c.quarantined++
+	default:
+		c.executed++
+	}
+	c.logf("fleet: completed %s (%s) from %s [%d/%d]",
+		results.Label(rec.Config), short(req.Key), req.Worker, c.doneCount, len(c.tasks))
+	done := c.doneCount == len(c.tasks)
+	if done {
+		select {
+		case <-c.doneCh:
+		default:
+			close(c.doneCh)
+		}
+	}
+	return CompleteResponse{Accepted: true, Done: done}, nil
+}
+
+// Done returns a channel closed when every trial is complete.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Status snapshots the observable state.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StatusResponse{
+		Total: len(c.tasks), Done: c.doneCount,
+		Executed: c.executed, Cached: c.cached, Quarantined: c.quarantined,
+		Leased:     len(c.leases),
+		Duplicates: c.duplicates, Reissued: c.reissued,
+		Complete: c.doneCount == len(c.tasks),
+	}
+}
+
+// Summaries assembles per-config summaries from the store, in input-config
+// order with trials in seed-chain order — the same layout Runner.Run
+// returns, so `epochgrid -serve` emits exactly what the single-process sweep
+// would. Quarantined trials are excluded; a config with no successful trial
+// yields a zero summary carrying the config.
+func (c *Coordinator) Summaries() []bench.Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	perCfg := make([][]bench.TrialResult, len(c.eff))
+	for _, t := range c.tasks {
+		recs := c.store.Get(t.key)
+		if len(recs) == 0 || recs[0].Quarantined {
+			continue
+		}
+		perCfg[t.cfgIdx] = append(perCfg[t.cfgIdx], recs[0].Trial)
+	}
+	out := make([]bench.Summary, len(c.eff))
+	for i, cfg := range c.eff {
+		if len(perCfg[i]) == 0 {
+			out[i] = bench.Summary{Cfg: cfg}
+			continue
+		}
+		out[i] = bench.SummarizeTrials(cfg, perCfg[i])
+	}
+	return out
+}
+
+// Handler returns the coordinator's HTTP surface:
+//
+//	POST /v1/lease    LeaseRequest    -> LeaseResponse
+//	POST /v1/renew    RenewRequest    -> RenewResponse
+//	POST /v1/complete CompleteRequest -> CompleteResponse
+//	GET  /v1/status                   -> StatusResponse
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := c.Lease(req.Worker)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("/v1/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, c.Renew(req), nil)
+	})
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := c.Complete(req)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, c.Status(), nil)
+	})
+	return mux
+}
+
+// decode reads a JSON request body (POST only), answering the error itself
+// when the body is malformed.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response, mapping coordinator-side errors
+// (store/journal failures) to 500 so clients retry.
+func reply(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,97 @@
+package grid
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is a seeded, jittered exponential backoff: successive Delay calls
+// double a base delay up to Cap, and each delay is "equal-jittered" — half
+// deterministic doubling, half drawn uniformly from a seeded xorshift stream
+// — so a fleet of workers (or a batch of retrying trials) that fail together
+// do not retry in lockstep against the same coordinator or host. The jitter
+// stream is seeded, so a given (seed, attempt) pair always yields the same
+// delay: retry timing is reproducible the same way trials are.
+//
+// The zero value is not ready; use NewBackoff.
+type Backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+	rng     uint64
+}
+
+// backoffCap bounds the doubling so an abandoned retry loop cannot grow its
+// sleeps past any useful horizon.
+const backoffCap = 30 * time.Second
+
+// NewBackoff returns a backoff starting at base (<= 0 means 50ms), capped at
+// backoffCap, with jitter drawn from a stream seeded by seed.
+func NewBackoff(base time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	return &Backoff{base: base, cap: backoffCap, rng: splitmix64(seed ^ 0x9e3779b97f4a7c15)}
+}
+
+// splitmix64 is the seed-spreading step used across the harness (arrival,
+// bench RNG streams): one multiplicative round that turns adjacent seeds
+// into well-separated stream states. Never returns 0, so xorshift never
+// sticks.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+func (b *Backoff) next() uint64 {
+	x := b.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.rng = x
+	return x
+}
+
+// Attempt reports how many delays have been drawn so far.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds the doubling to the base delay (the jitter stream keeps
+// advancing — a reconnect loop that succeeds and fails again should not
+// replay its old delays).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Delay returns the next backoff delay without sleeping: equal jitter over
+// the doubled base, i.e. uniform in [d/2, d) where d = base << attempt,
+// capped at Cap.
+func (b *Backoff) Delay() time.Duration {
+	d := b.base << uint(b.attempt)
+	if d > b.cap || d <= 0 { // <= 0: shift overflow
+		d = b.cap
+	}
+	b.attempt++
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.next()%uint64(half))
+}
+
+// Sleep blocks for the next delay or until ctx is done, whichever comes
+// first, returning ctx.Err() in the latter case. This is what makes an
+// aborted sweep stop immediately instead of hanging out its doubling waits.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Delay())
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/results"
+)
+
+var errTrial = errors.New("injected trial failure")
+
+func TestBackoffDelaysDoubleWithEqualJitter(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 1)
+	for i := 0; i < 6; i++ {
+		d := b.Delay()
+		base := 100 * time.Millisecond << uint(i)
+		if d < base/2 || d >= base {
+			t.Fatalf("attempt %d: delay %v outside equal-jitter window [%v, %v)", i, d, base/2, base)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a, b := NewBackoff(time.Millisecond, 42), NewBackoff(time.Millisecond, 42)
+	for i := 0; i < 10; i++ {
+		if da, db := a.Delay(), b.Delay(); da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+	c := NewBackoff(time.Millisecond, 43)
+	same := true
+	a.Reset()
+	a = NewBackoff(time.Millisecond, 42)
+	for i := 0; i < 10; i++ {
+		if a.Delay() != c.Delay() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("adjacent seeds produced identical jitter streams")
+	}
+}
+
+func TestBackoffCapsAndSurvivesOverflow(t *testing.T) {
+	b := NewBackoff(10*time.Second, 7)
+	for i := 0; i < 80; i++ { // far past the shift-overflow point
+		if d := b.Delay(); d <= 0 || d >= backoffCap {
+			t.Fatalf("attempt %d: delay %v outside (0, %v)", i, d, backoffCap)
+		}
+	}
+}
+
+func TestBackoffResetRewindsDoublingNotJitter(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 9)
+	first := b.Delay()
+	for i := 0; i < 4; i++ {
+		b.Delay()
+	}
+	b.Reset()
+	again := b.Delay()
+	base := 100 * time.Millisecond
+	if again < base/2 || again >= base {
+		t.Fatalf("post-Reset delay %v not back in the base window [%v, %v)", again, base/2, base)
+	}
+	if again == first {
+		t.Fatal("Reset must not replay the jitter stream (got the identical first delay)")
+	}
+}
+
+func TestBackoffSleepCancellable(t *testing.T) {
+	b := NewBackoff(time.Hour, 3) // would block forever if not cancellable
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Sleep did not return")
+	}
+}
+
+// sliceSource feeds Drain a fixed config list and collects completions.
+type sliceSource struct {
+	cfgs []bench.WorkloadConfig
+	i    int
+	recs []results.Record
+}
+
+func (s *sliceSource) Next(ctx context.Context) (bench.WorkloadConfig, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return bench.WorkloadConfig{}, false, err
+	}
+	if s.i >= len(s.cfgs) {
+		return bench.WorkloadConfig{}, false, nil
+	}
+	cfg := s.cfgs[s.i]
+	s.i++
+	return cfg, true, nil
+}
+
+func (s *sliceSource) Complete(ctx context.Context, cfg bench.WorkloadConfig, rec results.Record) error {
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+func TestDrainRunsEverySourcedTrial(t *testing.T) {
+	swapRunTrial(t, func(cfg bench.WorkloadConfig) (bench.TrialResult, error) {
+		return bench.TrialResult{Scenario: cfg.Scenario, Seed: cfg.Seed, Ops: 1}, nil
+	})
+	cfgs := twoConfigs()
+	src := &sliceSource{cfgs: cfgs}
+	r := &Runner{}
+	if err := r.Drain(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.recs) != len(cfgs) {
+		t.Fatalf("drained %d records, want %d", len(src.recs), len(cfgs))
+	}
+	for i, rec := range src.recs {
+		if rec.Quarantined {
+			t.Fatalf("record %d quarantined: %+v", i, rec)
+		}
+		if want := results.KeyOf(cfgs[i]); rec.Key != want {
+			t.Fatalf("record %d key %s, want %s (configs must run verbatim)", i, rec.Key, want)
+		}
+	}
+	if ex, _ := r.Counts(); ex != len(cfgs) {
+		t.Fatalf("runner counted %d executed, want %d", ex, len(cfgs))
+	}
+}
+
+func TestDrainQuarantinesPermanentFailure(t *testing.T) {
+	calls := 0
+	swapRunTrial(t, func(cfg bench.WorkloadConfig) (bench.TrialResult, error) {
+		calls++
+		return bench.TrialResult{}, errTrial
+	})
+	src := &sliceSource{cfgs: twoConfigs()[:1]}
+	r := &Runner{Retries: 2, Backoff: time.Microsecond}
+	if err := r.Drain(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("failing trial ran %d times, want 1 + 2 retries", calls)
+	}
+	if len(src.recs) != 1 || !src.recs[0].Quarantined {
+		t.Fatalf("permanent failure must complete as a quarantine record: %+v", src.recs)
+	}
+	if r.Quarantines() != 1 {
+		t.Fatalf("runner counted %d quarantines, want 1", r.Quarantines())
+	}
+}
+
+func TestDrainCanceledMidBackoffReportsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	swapRunTrial(t, func(cfg bench.WorkloadConfig) (bench.TrialResult, error) {
+		cancel() // fail, then die while the retry backoff sleeps
+		return bench.TrialResult{}, errTrial
+	})
+	src := &sliceSource{cfgs: twoConfigs()[:1]}
+	r := &Runner{Retries: 5, Backoff: time.Hour}
+	err := r.Drain(ctx, src)
+	if err != context.Canceled {
+		t.Fatalf("Drain returned %v, want context.Canceled", err)
+	}
+	if len(src.recs) != 0 {
+		t.Fatalf("canceled trial must not complete (lease expiry re-issues it): %+v", src.recs)
+	}
+	if r.Quarantines() != 0 {
+		t.Fatal("a canceled retry is not a quarantine — the failure was never final")
+	}
+}

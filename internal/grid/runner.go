@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -151,11 +152,95 @@ func runTrialSafe(cfg bench.WorkloadConfig) (tr bench.TrialResult, err error) {
 	return runTrial(cfg)
 }
 
+// executeTrial is the shared per-trial path: run with panic recovery, retry
+// with seeded-jitter doubling backoff up to the runner's Retries budget, and
+// report how many attempts it took. The backoff sleep is context-cancellable
+// — an aborted sweep (or a fleet worker told to stop) returns ctx.Err()
+// immediately instead of hanging out its doubling waits. The jitter stream
+// is seeded from the trial's own seed, so retry timing is as reproducible as
+// the trial itself while distinct trials never retry in lockstep.
+func (r *Runner) executeTrial(ctx context.Context, cfg bench.WorkloadConfig) (bench.TrialResult, int, error) {
+	attempts := 1 + r.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	bo := NewBackoff(r.Backoff, cfg.Seed)
+	var (
+		tr   bench.TrialResult
+		terr error
+	)
+	n := 0
+	for n < attempts {
+		tr, terr = runTrialSafe(cfg)
+		n++
+		if terr == nil {
+			break
+		}
+		if n < attempts {
+			if err := bo.Sleep(ctx); err != nil {
+				return tr, n, err
+			}
+		}
+	}
+	return tr, n, terr
+}
+
+// TrialTask is one expanded per-trial unit of work: the effective config
+// (runner defaults applied, seed chained) plus the indices tying it back to
+// the input config list for summary assembly.
+type TrialTask struct {
+	CfgIdx, TrialIdx int
+	Cfg              bench.WorkloadConfig
+}
+
+// ExpandTasks applies the runner-level default fault plan and watchdog
+// deadline to each config, then expands the RunTrials seed-chain convention
+// (trials >= 1 chains seeds; trials <= 0 uses each config's seed verbatim)
+// into per-trial tasks. It returns the effective configs alongside the
+// tasks. This is the claim-source contract shared by the in-process Runner
+// and the fleet coordinator: both must derive identical task lists — and
+// therefore identical TrialKeys — from the same spec, or distributed caching
+// would be unsound. Defaults land here, before any key computation, because
+// fault plans are hashed into keys.
+func ExpandTasks(cfgs []bench.WorkloadConfig, trials int, defFaults []bench.FaultSpec, defDeadline time.Duration) ([]bench.WorkloadConfig, []TrialTask) {
+	eff := make([]bench.WorkloadConfig, len(cfgs))
+	var tasks []TrialTask
+	for i, cfg := range cfgs {
+		if len(cfg.Faults) == 0 && len(defFaults) > 0 {
+			cfg.Faults = defFaults
+		}
+		if cfg.Deadline == 0 {
+			cfg.Deadline = defDeadline
+		}
+		eff[i] = cfg
+		seeds := []uint64{cfg.Seed}
+		if trials >= 1 {
+			seeds = bench.TrialSeeds(cfg.Seed, trials)
+		}
+		for j, seed := range seeds {
+			c := cfg
+			c.Seed = seed
+			tasks = append(tasks, TrialTask{CfgIdx: i, TrialIdx: j, Cfg: c})
+		}
+	}
+	return eff, tasks
+}
+
 // Run executes one batch with the GridFunc contract (bench.GridFunc):
 // trials >= 1 runs the RunTrials seed chain per config, trials <= 0 runs a
 // single trial per config with the seed used verbatim. Summaries are
 // returned in input order regardless of execution order.
 func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, error) {
+	return r.RunContext(context.Background(), cfgs, trials)
+}
+
+// RunContext is Run with cancellation: when ctx is done the dispatcher stops
+// launching trials and in-flight retry backoffs abort immediately, so an
+// interrupted sweep returns as soon as its running trials finish (trials
+// themselves are not preemptible mid-measurement — the per-trial watchdog is
+// the bound on those). The store still holds every trial completed before
+// the cancellation, so the sweep resumes where it stopped.
+func (r *Runner) RunContext(ctx context.Context, cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, error) {
 	parallel := r.Parallel
 	if parallel <= 0 {
 		parallel = 1
@@ -165,38 +250,20 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		budget = runtime.GOMAXPROCS(0)
 	}
 
-	type task struct {
-		cfgIdx, trialIdx int
-		cfg              bench.WorkloadConfig
-	}
-	var tasks []task
-	// eff carries the effective per-config workloads: runner-level defaults
-	// apply here, at task-build time. The fault plan must land before any
-	// key computation (plans are hashed — a faulted trial is a different
-	// experiment); the deadline is normalized out of keys, so its placement
-	// is free.
-	eff := make([]bench.WorkloadConfig, len(cfgs))
+	// Runner-level defaults apply at task-build time, inside ExpandTasks.
+	// The fault plan must land before any key computation (plans are hashed —
+	// a faulted trial is a different experiment); the deadline is normalized
+	// out of keys, so its placement is free.
+	eff, tasks := ExpandTasks(cfgs, trials, r.Faults, r.Deadline)
 	perCfg := make([][]bench.TrialResult, len(cfgs))
 	okCfg := make([][]bool, len(cfgs))
-	for i, cfg := range cfgs {
-		if len(cfg.Faults) == 0 && len(r.Faults) > 0 {
-			cfg.Faults = r.Faults
-		}
-		if cfg.Deadline == 0 {
-			cfg.Deadline = r.Deadline
-		}
-		eff[i] = cfg
-		seeds := []uint64{cfg.Seed}
+	for i := range cfgs {
+		n := 1
 		if trials >= 1 {
-			seeds = bench.TrialSeeds(cfg.Seed, trials)
+			n = trials
 		}
-		perCfg[i] = make([]bench.TrialResult, len(seeds))
-		okCfg[i] = make([]bool, len(seeds))
-		for j, seed := range seeds {
-			c := cfg
-			c.Seed = seed
-			tasks = append(tasks, task{cfgIdx: i, trialIdx: j, cfg: c})
-		}
+		perCfg[i] = make([]bench.TrialResult, n)
+		okCfg[i] = make([]bool, n)
 	}
 	total := len(tasks)
 
@@ -221,7 +288,7 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		}
 		return c
 	}
-	finish := func(t task, fromCache bool, ferr error, attempts int) {
+	finish := func(t TrialTask, fromCache bool, ferr error, attempts int) {
 		mu.Lock()
 		done++
 		switch {
@@ -237,7 +304,7 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		p := Progress{
 			Done: done, Total: total,
 			Executed: executed, Cached: cached, Failed: failed,
-			Key: results.KeyOf(t.cfg), Config: t.cfg, FromCache: fromCache,
+			Key: results.KeyOf(t.Cfg), Config: t.Cfg, FromCache: fromCache,
 			Err: ferr, Attempts: attempts,
 		}
 		r.mu.Lock()
@@ -255,93 +322,75 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 		}
 		mu.Unlock()
 	}
-	backoff := r.Backoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	attempts := 1 + r.Retries
-	if attempts < 1 {
-		attempts = 1
-	}
-
 	for _, t := range tasks {
 		mu.Lock()
 		stop := firstErr != nil
 		mu.Unlock()
-		if stop {
+		if stop || ctx.Err() != nil {
 			break
 		}
 		// Cache lookup happens in the dispatcher, so hits cost no slot, no
 		// tokens, and no goroutine. A cached quarantine record is a hit too:
 		// a resumed sweep skips the key instead of re-wedging on it.
-		if r.Store != nil && !t.cfg.Record {
-			if recs := r.Store.Get(results.KeyOf(t.cfg)); len(recs) > 0 {
+		if r.Store != nil && !t.Cfg.Record {
+			if recs := r.Store.Get(results.KeyOf(t.Cfg)); len(recs) > 0 {
 				if recs[0].Quarantined {
 					finish(t, true, fmt.Errorf("grid: %s: quarantined: %s",
-						results.Label(t.cfg), recs[0].Error), 0)
+						results.Label(t.Cfg), recs[0].Error), 0)
 					continue
 				}
-				perCfg[t.cfgIdx][t.trialIdx] = recs[0].Trial
-				okCfg[t.cfgIdx][t.trialIdx] = true
+				perCfg[t.CfgIdx][t.TrialIdx] = recs[0].Trial
+				okCfg[t.CfgIdx][t.TrialIdx] = true
 				finish(t, true, nil, 0)
 				continue
 			}
 		}
 		slots <- struct{}{}
-		w := cost(t.cfg)
+		w := cost(t.Cfg)
 		tokens.acquire(w)
 		wg.Add(1)
-		go func(t task, w int) {
+		go func(t TrialTask, w int) {
 			defer wg.Done()
 			defer func() {
 				tokens.release(w)
 				<-slots
 			}()
 			// Bounded retry: trial failures (watchdog aborts, panics) are
-			// retried with doubling backoff, then quarantined — the sweep
-			// never stops for one bad configuration.
-			var (
-				tr   bench.TrialResult
-				terr error
-			)
-			n := 0
-			for delay := backoff; n < attempts; delay *= 2 {
-				tr, terr = runTrialSafe(t.cfg)
-				n++
-				if terr == nil {
-					break
-				}
-				if n < attempts {
-					time.Sleep(delay)
-				}
-			}
+			// retried with jittered doubling backoff, then quarantined — the
+			// sweep never stops for one bad configuration. A canceled context
+			// aborts the backoff mid-wait; the interrupted trial is not
+			// quarantined (its failure was never final).
+			tr, n, terr := r.executeTrial(ctx, t.Cfg)
 			if terr != nil {
-				if r.Store != nil && !t.cfg.Record {
-					rec := results.NewQuarantine(t.cfg, tr, terr)
+				if ctx.Err() != nil && terr == ctx.Err() {
+					return
+				}
+				if r.Store != nil && !t.Cfg.Record {
+					rec := results.NewQuarantine(t.Cfg, tr, terr)
 					if err := r.Store.Append(rec); err != nil {
 						mu.Lock()
 						if firstErr == nil {
-							firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+							firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), err)
 						}
 						mu.Unlock()
 						return
 					}
 				}
-				finish(t, false, fmt.Errorf("grid: %s: %w", results.Label(t.cfg), terr), n)
+				finish(t, false, fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), terr), n)
 				return
 			}
-			if r.Store != nil && !t.cfg.Record {
-				if err := r.Store.Append(results.NewRecord(t.cfg, tr)); err != nil {
+			if r.Store != nil && !t.Cfg.Record {
+				if err := r.Store.Append(results.NewRecord(t.Cfg, tr)); err != nil {
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.cfg), err)
+						firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), err)
 					}
 					mu.Unlock()
 					return
 				}
 			}
-			perCfg[t.cfgIdx][t.trialIdx] = tr
-			okCfg[t.cfgIdx][t.trialIdx] = true
+			perCfg[t.CfgIdx][t.TrialIdx] = tr
+			okCfg[t.CfgIdx][t.TrialIdx] = true
 			finish(t, false, nil, n)
 		}(t, w)
 	}
@@ -349,10 +398,13 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if failed == total && total > 0 {
 		// Nothing at all succeeded: the sweep produced no data, which is an
 		// error (partial failure is not — quarantines carry the details).
-		first := results.Label(tasks[0].cfg)
+		first := results.Label(tasks[0].Cfg)
 		return nil, fmt.Errorf("grid: all %d trials failed (first: %s)", total, first)
 	}
 
@@ -379,6 +431,87 @@ func (r *Runner) Run(cfgs []bench.WorkloadConfig, trials int) ([]bench.Summary, 
 // GridFunc adapts the runner to bench.Options.RunGrid, the injection point
 // the experiment sweeps route through.
 func (r *Runner) GridFunc() bench.GridFunc { return r.Run }
+
+// Source is a claim source: a stream of already-effective trial
+// configurations the runner executes one at a time, with a completion
+// channel back to whoever issued the claim. It abstracts where trials come
+// from — the in-process expansion Run uses, or a fleet coordinator leasing
+// trials over the network (internal/fleet) — while the per-trial execution
+// path (panic recovery, watchdog, bounded retry with cancellable jittered
+// backoff) stays identical.
+//
+// Configs arrive effective: defaults, fault plans, and chained seeds were
+// applied by whoever expanded the sweep (ExpandTasks), so Drain runs them
+// verbatim — re-applying defaults here could silently change TrialKeys and
+// break distributed caching.
+type Source interface {
+	// Next returns the next trial to execute. ok=false means the source is
+	// exhausted (sweep complete) and Drain should return nil. An error means
+	// the source is unreachable or shutting down; Drain returns it.
+	Next(ctx context.Context) (cfg bench.WorkloadConfig, ok bool, err error)
+	// Complete delivers the finished trial's record — a regular record for a
+	// success, a quarantine record for a permanent failure. The source owns
+	// persistence and dedupe.
+	Complete(ctx context.Context, cfg bench.WorkloadConfig, rec results.Record) error
+}
+
+// Drain pulls trials from src until it is exhausted, executing each through
+// the shared per-trial path and reporting the outcome back through
+// src.Complete. It is serial by design: a fleet worker's parallelism is N
+// worker processes, each honestly loaded with one trial, so the coordinator's
+// lease accounting — not a hidden in-process queue — is the single source of
+// truth about in-flight work. Progress events (when OnProgress is set) carry
+// Total == 0, since a claim source's size is unknown to the worker.
+func (r *Runner) Drain(ctx context.Context, src Source) error {
+	done := 0
+	var executed, failed int
+	for {
+		cfg, ok, err := src.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		tr, attempts, terr := r.executeTrial(ctx, cfg)
+		if terr != nil && ctx.Err() != nil && terr == ctx.Err() {
+			// The backoff was canceled mid-retry: the failure was never
+			// final, so no quarantine is reported — the claim's lease will
+			// expire and the trial will be re-issued elsewhere.
+			return terr
+		}
+		var rec results.Record
+		if terr != nil {
+			rec = results.NewQuarantine(cfg, tr, terr)
+		} else {
+			rec = results.NewRecord(cfg, tr)
+		}
+		if err := src.Complete(ctx, cfg, rec); err != nil {
+			return err
+		}
+		done++
+		r.mu.Lock()
+		if terr != nil {
+			r.quarantined++
+		} else {
+			r.executed++
+		}
+		r.mu.Unlock()
+		if r.OnProgress != nil {
+			if terr != nil {
+				failed++
+				terr = fmt.Errorf("grid: %s: %w", results.Label(cfg), terr)
+			} else {
+				executed++
+			}
+			r.OnProgress(Progress{
+				Done: done, Executed: executed, Failed: failed,
+				Key: results.KeyOf(cfg), Config: cfg,
+				Err: terr, Attempts: attempts,
+			})
+		}
+	}
+}
 
 // RunSpec expands and validates a spec, then runs it. Spec.Trials <= 0 is
 // normalized to 1 here (with the RunTrials seed chain, matching the Spec

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -43,6 +44,40 @@ type Record struct {
 	Quarantined bool `json:"quarantined,omitempty"`
 	// Error is the failure reason of a quarantined record.
 	Error string `json:"error,omitempty"`
+
+	// Kind distinguishes journal records from trial records. Empty means a
+	// trial result (the default, and the only kind that existed before the
+	// fleet). KindClaim marks a coordination-journal entry: a lease grant
+	// the fleet coordinator appends to the same crash-safe log so a
+	// mid-sweep crash leaves an auditable trail of who held what. Journal
+	// records are routed to a separate index on load and append — they never
+	// satisfy cache lookups, never enter Summaries or Compare, and adding
+	// them does not move any TrialKey (keys hash only the config), so the
+	// schema version is unchanged.
+	Kind string `json:"kind,omitempty"`
+	// Worker identifies the fleet worker a journal record concerns (and,
+	// echoed on trial records completed over the fleet, which worker ran
+	// the trial — audit only; the Trial's own provenance fields are the
+	// canonical source).
+	Worker string `json:"worker,omitempty"`
+	// LeaseUntil is the claim's expiry, unix nanoseconds (journal records
+	// only).
+	LeaseUntil int64 `json:"lease_until,omitempty"`
+}
+
+// KindClaim is the Record.Kind of a fleet lease-grant journal entry.
+const KindClaim = "claim"
+
+// NewClaim builds the coordination-journal record for a lease grant: key
+// identifies the claimed trial, worker the holder, until the lease expiry.
+func NewClaim(key, worker string, until time.Time) Record {
+	return Record{
+		Key:        key,
+		Schema:     SchemaVersion,
+		Kind:       KindClaim,
+		Worker:     worker,
+		LeaseUntil: until.UnixNano(),
+	}
 }
 
 // NewRecord builds the Record for an executed trial. The configuration is
@@ -85,11 +120,12 @@ func NewQuarantine(cfg bench.WorkloadConfig, tr bench.TrialResult, err error) Re
 // JSONL file that every Append flushes to. All methods are safe for
 // concurrent use (the grid runner appends from worker goroutines).
 type Store struct {
-	mu    sync.Mutex
-	path  string
-	f     *os.File
-	recs  []Record
-	byKey map[string][]int
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	recs    []Record
+	byKey   map[string][]int
+	journal []Record
 }
 
 // NewMemStore creates an unbacked in-memory store.
@@ -145,8 +181,14 @@ func (s *Store) load(r io.Reader) error {
 	return nil
 }
 
-// add indexes a record; caller holds mu.
+// add indexes a record; caller holds mu. Journal records (Kind != "") go to
+// the side journal: they must never satisfy a Get/Has cache lookup, or a
+// claim would masquerade as a completed trial.
 func (s *Store) add(rec Record) {
+	if rec.Kind != "" {
+		s.journal = append(s.journal, rec)
+		return
+	}
 	s.byKey[rec.Key] = append(s.byKey[rec.Key], len(s.recs))
 	s.recs = append(s.recs, rec)
 }
@@ -168,11 +210,34 @@ func (s *Store) appendLocked(rec Record) error {
 
 // Append adds a record to the store and, when file-backed, flushes it as
 // one JSONL line before returning, so an interrupted sweep keeps every
-// completed trial.
+// completed trial. The backing file is opened O_APPEND and each record is
+// one write(2), so two processes appending to the same path interleave
+// whole records, never torn ones.
 func (s *Store) Append(rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.appendLocked(rec)
+}
+
+// AppendIfAbsent appends rec only when its TrialKey is not already present,
+// reporting whether it was added. This is the fleet coordinator's
+// merge-dedupe point: two workers racing an expired lease both complete the
+// same trial, content addressing makes their records interchangeable, and
+// the check-and-append under one lock guarantees exactly one lands in the
+// store. Journal records (Kind != "") are always appended — claims are a
+// log, not a set.
+func (s *Store) AppendIfAbsent(rec Record) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Kind == "" {
+		if _, dup := s.byKey[rec.Key]; dup {
+			return false, nil
+		}
+	}
+	if err := s.appendLocked(rec); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Merge appends every record from other whose TrialKey is not yet present
@@ -234,7 +299,18 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
-// Records returns a copy of all records in append order.
+// Journal returns a copy of the coordination-journal records (claims) in
+// append order. Trial records are not included; see Records.
+func (s *Store) Journal() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// Records returns a copy of all trial records in append order. Journal
+// records (claims) are excluded; see Journal.
 func (s *Store) Records() []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()

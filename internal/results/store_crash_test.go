@@ -1,0 +1,296 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Crash-safety tests for the JSONL store: the properties the fleet
+// coordinator leans on when workers die, processes share one file, and the
+// same trial arrives from two places at once.
+
+func crashCfg(seed uint64) bench.WorkloadConfig {
+	cfg := bench.DefaultWorkload(2)
+	cfg.KeyRange = 1 << 10
+	cfg.Seed = seed
+	return cfg
+}
+
+func crashRec(seed uint64) Record {
+	cfg := crashCfg(seed)
+	return NewRecord(cfg, bench.TrialResult{Scenario: cfg.Scenario, Seed: seed, Ops: int64(seed)})
+}
+
+// TestStoreLoadSurvivesTornLines fuzzes the kill -9 disk states: a valid
+// store whose tail (or middle, when two writers raced a crash) is truncated
+// at every possible byte offset must load every record that landed whole and
+// silently skip the torn one.
+func TestStoreLoadSurvivesTornLines(t *testing.T) {
+	var lines []string
+	for i := 0; i < 4; i++ {
+		b, err := recJSON(crashRec(uint64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, b)
+	}
+	whole := strings.Join(lines, "\n") + "\n"
+
+	rng := rand.New(rand.NewSource(1))
+	offsets := []int{len(whole) - 1, len(whole) - 2, len(lines[0]) + 1} // classic tails
+	for i := 0; i < 200; i++ {
+		offsets = append(offsets, rng.Intn(len(whole)))
+	}
+	dir := t.TempDir()
+	for _, cut := range offsets {
+		torn := whole[:cut]
+		// Every record whose full line (including '\n') survived the cut
+		// must load.
+		wantFull := strings.Count(torn, "\n")
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.jsonl", cut))
+		if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut=%d: torn store failed to open: %v", cut, err)
+		}
+		got := st.Len()
+		st.Close()
+		// The unterminated tail segment still loads when (and only when) the
+		// cut happened to leave it valid JSON — e.g. a whole final line
+		// missing only its newline. A mid-object cut never parses.
+		want := wantFull
+		if tail := torn[sumLen(lines, wantFull):]; len(tail) > 0 && json.Valid([]byte(tail)) {
+			want++
+		}
+		if got != want {
+			t.Fatalf("cut=%d: loaded %d records, want %d", cut, got, want)
+		}
+	}
+
+	// Garbage in the middle (a foreign writer, a corrupted block) skips that
+	// line only.
+	garbled := lines[0] + "\n{\"key\": \"half" + "\n" + lines[1] + "\n\x00\xff\xfe\n" + lines[2] + "\n"
+	path := filepath.Join(dir, "garbled.jsonl")
+	if err := os.WriteFile(path, []byte(garbled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatalf("garbled store failed to open: %v", err)
+	}
+	defer st.Close()
+	if st.Len() != 3 {
+		t.Fatalf("garbled store loaded %d records, want the 3 intact ones", st.Len())
+	}
+}
+
+func recJSON(rec Record) (string, error) {
+	b, err := json.Marshal(rec)
+	return string(b), err
+}
+
+func sumLen(lines []string, n int) int {
+	total := 0
+	for _, l := range lines[:n] {
+		total += len(l) + 1
+	}
+	return total
+}
+
+// TestStoreConcurrentAppendTwoHandles is the two-process scenario: two
+// Stores (two file handles, two in-memory indexes) append to one path
+// concurrently. O_APPEND + one write(2) per record must interleave whole
+// lines — a reload sees every record from both writers, none torn.
+func TestStoreConcurrentAppendTwoHandles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.jsonl")
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const per = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			if err := a.Append(crashRec(uint64(1000 + i))); err != nil {
+				t.Errorf("writer a: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			if err := b.Append(crashRec(uint64(2000 + i))); err != nil {
+				t.Errorf("writer b: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	a.Close()
+	b.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2*per {
+		t.Fatalf("reloaded %d records from two concurrent writers, want %d", re.Len(), 2*per)
+	}
+	seen := map[string]bool{}
+	for _, rec := range re.Records() {
+		if seen[rec.Key] {
+			t.Fatalf("key %s appears twice after concurrent append", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+}
+
+// TestStoreMergeDedupesIdenticalTrialKeys: two workers ran overlapping
+// slices of one sweep (the lease-race aftermath); merging their stores keeps
+// exactly one record per TrialKey.
+func TestStoreMergeDedupesIdenticalTrialKeys(t *testing.T) {
+	w1, w2 := NewMemStore(), NewMemStore()
+	for i := 0; i < 6; i++ {
+		if err := w1.Append(crashRec(uint64(i))); err != nil { // trials 0..5
+			t.Fatal(err)
+		}
+	}
+	for i := 3; i < 9; i++ { // trials 3..8 — 3..5 overlap
+		if err := w2.Append(crashRec(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := NewMemStore()
+	if _, err := merged.Merge(w1); err != nil {
+		t.Fatal(err)
+	}
+	added, err := merged.Merge(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("second merge added %d records, want only the 3 non-overlapping", added)
+	}
+	if merged.Len() != 9 {
+		t.Fatalf("merged store has %d records, want 9 distinct trials", merged.Len())
+	}
+	for _, key := range merged.Keys() {
+		if n := len(merged.Get(key)); n != 1 {
+			t.Fatalf("key %s has %d records after merge, want 1", key, n)
+		}
+	}
+}
+
+// TestStoreAppendIfAbsentRace: many goroutines race the same record (the
+// in-process shape of duplicate completions); exactly one append wins.
+func TestStoreAppendIfAbsentRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "race.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := crashRec(7)
+	const racers = 16
+	var wg sync.WaitGroup
+	wins := make(chan bool, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			added, err := st.AppendIfAbsent(rec)
+			if err != nil {
+				t.Errorf("AppendIfAbsent: %v", err)
+				return
+			}
+			wins <- added
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d racers won the append, want exactly 1", won)
+	}
+	st.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 || len(re.Get(rec.Key)) != 1 {
+		t.Fatalf("raced key persisted %d times, want 1", len(re.Get(rec.Key)))
+	}
+}
+
+// TestStoreClaimsJournalSeparately: claim records share the file but never
+// the cache index — a journaled claim must not make a trial look complete,
+// in memory or across a reload.
+func TestStoreClaimsJournalSeparately(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := crashRec(3)
+	if err := st.Append(NewClaim(rec.Key, "w1", time.Now().Add(time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(rec.Key) {
+		t.Fatal("a journaled claim must not satisfy a cache lookup")
+	}
+	if st.Len() != 0 || len(st.Journal()) != 1 {
+		t.Fatalf("claim landed in the wrong index: len=%d journal=%d", st.Len(), len(st.Journal()))
+	}
+	// Claims are a log, not a set: AppendIfAbsent never dedupes them.
+	if added, err := st.AppendIfAbsent(NewClaim(rec.Key, "w2", time.Now().Add(time.Minute))); err != nil || !added {
+		t.Fatalf("second claim for the same key must append: added=%t err=%v", added, err)
+	}
+	if err := st.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 || !re.Has(rec.Key) {
+		t.Fatalf("reload lost the real record: len=%d", re.Len())
+	}
+	if got := len(re.Journal()); got != 2 {
+		t.Fatalf("reload kept %d journal records, want 2 claims", got)
+	}
+	for _, j := range re.Journal() {
+		if j.Kind != KindClaim || j.LeaseUntil == 0 {
+			t.Fatalf("reloaded claim lost its shape: %+v", j)
+		}
+	}
+}

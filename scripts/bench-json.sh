@@ -230,3 +230,6 @@ if ! awk -v u="$lat_debra_stalled" -v b="$lat_hp_stalled" \
   exit 1
 fi
 echo "latency gate passed (debra stalled p999 $lat_debra_stalled ms >= hp $lat_hp_stalled ms)"
+
+# Regenerate the cross-PR trajectory table whenever a new artifact lands.
+scripts/bench-history.sh
