@@ -31,9 +31,13 @@ const drainGrace = 2 * time.Second
 
 // runServe drives a sweep as its coordinator: expand the spec, resume from
 // the store, serve leases until every trial is done, then emit the same
-// summaries (and greppable grid line) a single-process sweep would.
-func runServe(addr string, spec grid.Spec, storePath string, leaseTTL, deadline time.Duration,
-	format, outPath string, progress bool) int {
+// summaries (and greppable grid line) a single-process sweep would. When no
+// worker leases anything within localGrace, the process degrades to local
+// mode — it drains the sweep itself through the coordinator's in-process
+// Source, so a -serve invocation with no fleet still finishes (late workers
+// can still join; both sides lease from the same pool).
+func runServe(addr string, spec grid.Spec, storePath string, leaseTTL, deadline, localGrace time.Duration,
+	retries int, backoff time.Duration, format, outPath string, progress bool) int {
 	if storePath == "" {
 		fmt.Fprintln(os.Stderr, "epochgrid: -serve requires -store (the journal is what makes the coordinator crash-safe)")
 		return 2
@@ -73,6 +77,32 @@ func runServe(addr string, spec grid.Spec, storePath string, leaseTTL, deadline 
 	t0 := time.Now()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if localGrace > 0 {
+		// Degraded-local mode: if the grace window passes with zero leases
+		// granted, no worker is coming — drain the sweep in-process through
+		// the same Source/Drain path a worker uses. Leases granted to late
+		// workers and local leases come from one pool, so a worker joining
+		// mid-drain just shares the remaining trials.
+		go func() {
+			t := time.NewTimer(localGrace)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-coord.Done():
+				return
+			case <-ctx.Done():
+				return
+			}
+			if coord.Granted() > 0 {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "fleet: no worker leased within %v; draining locally\n", localGrace)
+			local := &grid.Runner{Retries: retries, Backoff: backoff}
+			if err := local.Drain(ctx, coord.LocalSource("local")); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "fleet: local drain: %v\n", err)
+			}
+		}()
+	}
 	select {
 	case <-coord.Done():
 	case <-ctx.Done():
@@ -117,7 +147,8 @@ func runServe(addr string, spec grid.Spec, storePath string, leaseTTL, deadline 
 // runWorker drains a coordinator until its sweep is done. SIGINT/SIGTERM
 // cancel cleanly: the current trial's lease simply expires and is re-issued
 // elsewhere. SIGKILL needs no handling — that is the lease's whole job.
-func runWorker(base string, retries int, backoff time.Duration, name, spoolFlag string, progress bool) int {
+func runWorker(base string, retries int, backoff time.Duration, name, spoolFlag string,
+	capacity, leaseBatch int, progress bool) int {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s:%d", host, os.Getpid())
@@ -135,9 +166,11 @@ func runWorker(base string, retries int, backoff time.Duration, name, spoolFlag 
 			Base: base, Timeout: 10 * time.Second, Retries: -1,
 			RetryBase: backoff, Seed: seedFor(name),
 		},
-		Runner:    &grid.Runner{Retries: retries, Backoff: backoff},
-		Name:      name,
-		SpoolPath: spool,
+		Runner:     &grid.Runner{Retries: retries, Backoff: backoff},
+		Name:       name,
+		SpoolPath:  spool,
+		Capacity:   capacity,
+		LeaseBatch: leaseBatch,
 	}
 	if progress {
 		w.Logf = func(f string, args ...any) { fmt.Fprintf(os.Stderr, f+"\n", args...) }

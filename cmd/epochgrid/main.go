@@ -90,9 +90,13 @@ func realMain() int {
 		backoff    = flag.Duration("backoff", 0, "base delay between trial retries, doubled with seeded jitter (default 50ms)")
 		serveAddr  = flag.String("serve", "", "coordinator mode: serve the sweep's trials under leases on this address (e.g. :7712); requires -store")
 		workerURL  = flag.String("worker", "", "worker mode: pull leased trials from the coordinator at this URL (e.g. http://host:7712)")
+		statusURL  = flag.String("status", "", "status mode: pretty-print the coordinator's /v1/status from this URL and exit")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator mode: how long a worker may hold a trial without renewing before it is re-issued")
+		localGrace = flag.Duration("local-grace", 5*time.Second, "coordinator mode: if no worker leases a trial within this window, drain the sweep locally in-process (0 disables)")
 		workerName = flag.String("worker-name", "", "worker mode: name journaled with claims (default host:pid)")
 		spoolPath  = flag.String("spool", "", "worker mode: local JSONL spool for records the coordinator could not receive (default: auto temp path; \"none\" disables)")
+		capacity   = flag.Int("capacity", 0, "worker mode: thread capacity advertised for cost-aware placement (default GOMAXPROCS; negative = unlimited)")
+		leaseBatch = flag.Int("lease-batch", 1, "worker mode: request up to N trials per lease RPC (extra cheap trials queue locally)")
 		dur        = flag.Duration("dur", 0, "measured window per trial (default 300ms)")
 		fixedOps   = flag.Int("ops", 0, "run exactly N ops per thread instead of the wall-clock window (deterministic with 1 thread)")
 		keyrange   = flag.Int64("keyrange", 0, "key universe size (default 32768)")
@@ -128,10 +132,15 @@ func realMain() int {
 		return runCompare(*compareOld, *compareNew, *tol, *limboTol, *latTol, *format, *outPath)
 	}
 
+	if *statusURL != "" {
+		return runStatus(*statusURL)
+	}
+
 	if *workerURL != "" {
 		// Worker mode ignores the sweep axes: the coordinator owns the spec,
 		// the worker just executes what it is leased.
-		return runWorker(*workerURL, *retries, *backoff, *workerName, *spoolPath, *progress)
+		return runWorker(*workerURL, *retries, *backoff, *workerName, *spoolPath,
+			*capacity, *leaseBatch, *progress)
 	}
 
 	spec := grid.Spec{
@@ -219,7 +228,8 @@ func realMain() int {
 	}
 
 	if *serveAddr != "" {
-		return runServe(*serveAddr, spec, *storePath, *leaseTTL, *deadline, *format, *outPath, *progress)
+		return runServe(*serveAddr, spec, *storePath, *leaseTTL, *deadline, *localGrace,
+			*retries, *backoff, *format, *outPath, *progress)
 	}
 
 	runner := &grid.Runner{Parallel: *parallel, Budget: *budget, Deadline: *deadline, Retries: *retries, Backoff: *backoff}
@@ -391,6 +401,20 @@ func peakLimboOf(s bench.Summary) float64 {
 	return sum / float64(len(s.Trials))
 }
 
+// elapsedMsOf is the mean measured wall time of a summary's trials in
+// milliseconds — the number the grid's cost model schedules by. Zero for
+// records that predate ElapsedNanos stamping.
+func elapsedMsOf(s bench.Summary) float64 {
+	if len(s.Trials) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tr := range s.Trials {
+		sum += float64(tr.ElapsedNanos)
+	}
+	return sum / float64(len(s.Trials)) / 1e6
+}
+
 // hostOf renders the distinct hosts a summary's trials ran on, ';'-joined in
 // first-appearance order. Single-process sweeps yield one host; a fleet
 // sweep's summaries name every machine that contributed, so distributed
@@ -427,13 +451,13 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 	switch format {
 	case "table":
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "scenario\tphases\tfaults\tarrival\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tpeak limbo\tlat p99 (ms)\tlat p999 (ms)\tdropped")
+		fmt.Fprintln(tw, "scenario\tphases\tfaults\tarrival\tds\talloc\treclaimer\tthreads\tbatch\tseeds\tmean ops/s\tmin\tmax\tpeak MiB\tpeak limbo\telapsed ms\tlat p99 (ms)\tlat p999 (ms)\tdropped")
 		for _, s := range sums {
 			p99, p999 := latOf(s)
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%.2f\t%.2f\t%d\n",
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%.1f\t%.2f\t%.2f\t%d\n",
 				s.Cfg.Scenario, phasesOf(s), faultsOf(s), arrivalOf(s), s.Cfg.DataStructure, s.Cfg.Allocator, s.Cfg.Reclaimer,
 				s.Cfg.Threads, s.Cfg.BatchSize, seedList(s),
-				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, peakLimboOf(s), p99, p999, droppedOf(s))
+				s.MeanOps, s.MinOps, s.MaxOps, s.MeanPeakMiB, peakLimboOf(s), elapsedMsOf(s), p99, p999, droppedOf(s))
 		}
 		return tw.Flush()
 	case "csv":
@@ -441,7 +465,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 		if err := cw.Write([]string{
 			"scenario", "phases", "faults", "arrival", "ds", "allocator", "reclaimer", "threads", "batch",
 			"seeds", "trials", "host", "mean_ops", "min_ops", "max_ops", "mean_peak_mib",
-			"mean_peak_limbo", "lat_p99_ms", "lat_p999_ms", "dropped",
+			"mean_peak_limbo", "elapsed_ms", "lat_p99_ms", "lat_p999_ms", "dropped",
 		}); err != nil {
 			return err
 		}
@@ -454,6 +478,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 				fmt.Sprintf("%.2f", s.MeanOps), fmt.Sprintf("%.2f", s.MinOps),
 				fmt.Sprintf("%.2f", s.MaxOps), fmt.Sprintf("%.3f", s.MeanPeakMiB),
 				fmt.Sprintf("%.1f", peakLimboOf(s)),
+				fmt.Sprintf("%.3f", elapsedMsOf(s)),
 				fmt.Sprintf("%.3f", p99), fmt.Sprintf("%.3f", p999),
 				strconv.FormatInt(droppedOf(s), 10),
 			}); err != nil {
@@ -481,6 +506,7 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 			MaxOps        float64  `json:"max_ops"`
 			MeanPeakMiB   float64  `json:"mean_peak_mib"`
 			MeanPeakLimbo float64  `json:"mean_peak_limbo"`
+			ElapsedMs     float64  `json:"elapsed_ms,omitempty"`
 			LatP99Ms      float64  `json:"lat_p99_ms,omitempty"`
 			LatP999Ms     float64  `json:"lat_p999_ms,omitempty"`
 			Dropped       int64    `json:"dropped,omitempty"`
@@ -509,7 +535,8 @@ func emit(w io.Writer, format string, sums []bench.Summary, executed, cached int
 				Trials: len(s.Trials), Host: hostOf(s),
 				MeanOps: s.MeanOps, MinOps: s.MinOps, MaxOps: s.MaxOps,
 				MeanPeakMiB: s.MeanPeakMiB, MeanPeakLimbo: peakLimboOf(s),
-				LatP99Ms: p99, LatP999Ms: p999,
+				ElapsedMs: elapsedMsOf(s),
+				LatP99Ms:  p99, LatP999Ms: p999,
 				Dropped: droppedOf(s),
 			}
 			for _, tr := range s.Trials {

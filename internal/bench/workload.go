@@ -262,6 +262,13 @@ type TrialResult struct {
 	Dropped int64 `json:",omitempty"`
 	// Wall is the actual measured-window duration.
 	Wall time.Duration
+	// ElapsedNanos is the trial's total wall time — prefill, measured
+	// window, and teardown included — stamped by RunTrial. It is a measured
+	// field like Wall or the provenance above: results keys hash only the
+	// configuration, so it never moves a TrialKey. The grid's cost model
+	// (grid.CostModel) feeds on it to schedule repeat/resume sweeps by
+	// measured cost instead of static estimates.
+	ElapsedNanos int64 `json:",omitempty"`
 	// Recorder holds timeline events when recording was enabled. It is
 	// excluded from JSON so results can be persisted (see internal/results).
 	Recorder *timeline.Recorder `json:"-"`
@@ -498,8 +505,17 @@ func runWorker(cfg *WorkloadConfig, st *Stack, w, tid int, kd KeyDist, om OpMix)
 // RunTrial executes one trial: assemble the stack, prefill to the
 // steady-state size, run the configured scenario's per-thread key and
 // operation streams — for Duration, or for exactly FixedOps ops per thread —
-// snapshot, tear down.
+// snapshot, tear down. The result carries the trial's total wall time
+// (ElapsedNanos), stamped on success and on watchdog-aborted partial
+// results alike, so stored sweeps learn real per-trial costs.
 func RunTrial(cfg WorkloadConfig) (TrialResult, error) {
+	t0 := time.Now()
+	res, err := runTrialInner(cfg)
+	res.ElapsedNanos = int64(time.Since(t0))
+	return res, err
+}
+
+func runTrialInner(cfg WorkloadConfig) (TrialResult, error) {
 	if cfg.Threads <= 0 {
 		return TrialResult{}, fmt.Errorf("bench: Threads must be positive")
 	}

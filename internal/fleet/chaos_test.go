@@ -300,7 +300,7 @@ func TestChaosDuplicatedCompletionRPC(t *testing.T) {
 
 	// Lease in-process (no faults on the grant path), then deliver the
 	// completion through a transport that duplicates every request.
-	l, err := coord.Lease("dup")
+	l, err := coord.Lease(LeaseRequest{Worker: "dup"})
 	if err != nil || l.Status != StatusLease {
 		t.Fatalf("lease: %+v, %v", l, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,6 +57,11 @@ type CoordinatorConfig struct {
 	// Clock is the time source; nil means time.Now. Injectable so lease
 	// expiry is testable without real waits.
 	Clock func() time.Time
+	// Cost is the scheduling cost model; nil builds one seeded from the
+	// store's measured elapsed times. The coordinator grants costliest-
+	// fitting-first (the distributed face of the grid runner's LPT policy)
+	// and feeds every completion's measured wall time back into the model.
+	Cost *grid.CostModel
 	// Logf, when set, receives one line per fleet event (grants, expiries,
 	// completions, duplicates). Serialized under the coordinator lock.
 	Logf func(format string, args ...any)
@@ -72,6 +78,7 @@ type Coordinator struct {
 	ttl   time.Duration
 	now   func() time.Time
 	logf  func(string, ...any)
+	model *grid.CostModel
 
 	mu     sync.Mutex
 	eff    []bench.WorkloadConfig
@@ -84,8 +91,29 @@ type Coordinator struct {
 	executed, cached, quarantined int
 	duplicates, reissued          int
 	doneCount                     int
+	granted                       int
 	doneCh                        chan struct{}
+
+	startedAt time.Time
+	// completedCost sums the model's estimate of every freshly completed
+	// trial; divided by wall time since startedAt it is the fleet's
+	// observed throughput (in estimated-cost units per nanosecond), the
+	// denominator of the status ETA.
+	completedCost float64
+	workers       map[string]*workerStats
 }
+
+// workerStats is the coordinator's per-worker completion ledger.
+type workerStats struct {
+	done      int
+	firstSeen time.Time
+	lastDone  time.Time
+}
+
+// maxBatchGrants caps how many trials one lease RPC may carry regardless of
+// the request's MaxTrials — a runaway batch would concentrate re-issue risk
+// on one worker's crash.
+const maxBatchGrants = 8
 
 // NewCoordinator expands cfgs×trials with the runner's seed-chain convention
 // and builds the coordinator over the store. Trials already in the store
@@ -107,17 +135,24 @@ func NewCoordinator(cfgs []bench.WorkloadConfig, trials int, cc CoordinatorConfi
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	model := cc.Cost
+	if model == nil {
+		model = grid.NewCostModel(cc.Store)
+	}
 	eff, expanded := grid.ExpandTasks(cfgs, trials, cc.Faults, cc.Deadline)
 	c := &Coordinator{
-		store:  cc.Store,
-		ttl:    ttl,
-		now:    now,
-		logf:   logf,
-		eff:    eff,
-		trials: trials,
-		byKey:  map[string][]int{},
-		leases: map[string]*lease{},
-		doneCh: make(chan struct{}),
+		store:     cc.Store,
+		ttl:       ttl,
+		now:       now,
+		logf:      logf,
+		model:     model,
+		eff:       eff,
+		trials:    trials,
+		byKey:     map[string][]int{},
+		leases:    map[string]*lease{},
+		doneCh:    make(chan struct{}),
+		startedAt: now(),
+		workers:   map[string]*workerStats{},
 	}
 	for _, t := range expanded {
 		ft := &fleetTask{
@@ -165,46 +200,126 @@ func (c *Coordinator) reclaimExpiredLocked() {
 	}
 }
 
-// Lease grants the next pending trial to worker, journaling the claim. When
-// everything is leased-but-unfinished it answers StatusWait; when the sweep
-// is complete, StatusDone.
-func (c *Coordinator) Lease(worker string) (LeaseResponse, error) {
+// grantLocked journals the claim for task i and attaches a fresh lease to
+// worker; caller holds mu and guarantees the task is pending.
+func (c *Coordinator) grantLocked(i int, worker string) (Grant, error) {
+	t := c.tasks[i]
+	c.seq++
+	id := fmt.Sprintf("L%d", c.seq)
+	expires := c.now().Add(c.ttl)
+	// Journal the claim before answering: if the append fails the
+	// store is broken and granting would strand the trial's result.
+	if err := c.store.Append(results.NewClaim(t.key, worker, expires)); err != nil {
+		return Grant{}, fmt.Errorf("fleet: journaling claim: %w", err)
+	}
+	t.state = taskLeased
+	t.leaseID = id
+	c.leases[id] = &lease{id: id, taskIdx: i, worker: worker, expires: expires}
+	c.granted++
+	c.logf("fleet: leased %s (%s) to %s until %s",
+		results.Label(t.cfg), short(t.key), worker, expires.Format(time.RFC3339))
+	return Grant{LeaseID: id, Key: t.key, Config: t.cfg, ExpiresUnixNano: expires.UnixNano()}, nil
+}
+
+// fits reports whether a trial's thread demand fits an advertised capacity
+// (<= 0 means unlimited).
+func fits(cfg bench.WorkloadConfig, capacity int) bool {
+	return capacity <= 0 || cfg.Threads <= capacity
+}
+
+// Lease grants pending trials to the requesting worker, journaling each
+// claim. The grant policy is the distributed face of the grid runner's LPT
+// scheduler: the primary grant is the costliest pending trial that fits the
+// worker's advertised Capacity, so the biggest remaining work starts
+// earliest on the workers that can run it — the makespan argument. When
+// nothing fits the capacity, the cheapest pending trial is granted anyway
+// (capacity is advisory; a slow trial beats a stalled sweep). With
+// MaxTrials > 1 the response also batches up to maxBatchGrants of the
+// cheapest fitting trials as Extra, amortizing lease round-trips over
+// trials whose RPC cost rivals their runtime. When everything is
+// leased-but-unfinished it answers StatusWait; when the sweep is complete,
+// StatusDone.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reclaimExpiredLocked()
+	if ws := c.workers[req.Worker]; ws == nil {
+		c.workers[req.Worker] = &workerStats{firstSeen: c.now()}
+	}
 	if c.doneCount == len(c.tasks) {
 		return LeaseResponse{Status: StatusDone}, nil
 	}
+	// Estimate every pending trial once per request: the model shifts as
+	// completions feed it, so ordering is computed live rather than pinned
+	// at expansion. Pending counts are small (a sweep, not a job queue).
+	type pendingTask struct {
+		idx int
+		est float64
+	}
+	var pending []pendingTask
 	for i, t := range c.tasks {
-		if t.state != taskPending {
-			continue
+		if t.state == taskPending {
+			pending = append(pending, pendingTask{idx: i, est: c.model.Estimate(t.cfg)})
 		}
-		c.seq++
-		id := fmt.Sprintf("L%d", c.seq)
-		expires := c.now().Add(c.ttl)
-		// Journal the claim before answering: if the append fails the
-		// store is broken and granting would strand the trial's result.
-		if err := c.store.Append(results.NewClaim(t.key, worker, expires)); err != nil {
-			return LeaseResponse{}, fmt.Errorf("fleet: journaling claim: %w", err)
+	}
+	if len(pending) == 0 {
+		retry := c.ttl / 8
+		if retry > 250*time.Millisecond {
+			retry = 250 * time.Millisecond
 		}
-		t.state = taskLeased
-		t.leaseID = id
-		c.leases[id] = &lease{id: id, taskIdx: i, worker: worker, expires: expires}
-		c.logf("fleet: leased %s (%s) to %s until %s",
-			results.Label(t.cfg), short(t.key), worker, expires.Format(time.RFC3339))
-		return LeaseResponse{
-			Status: StatusLease, LeaseID: id, Key: t.key, Config: t.cfg,
-			ExpiresUnixNano: expires.UnixNano(),
-		}, nil
+		if retry < 10*time.Millisecond {
+			retry = 10 * time.Millisecond
+		}
+		return LeaseResponse{Status: StatusWait, RetryMs: int(retry.Milliseconds())}, nil
 	}
-	retry := c.ttl / 8
-	if retry > 250*time.Millisecond {
-		retry = 250 * time.Millisecond
+	// Descending cost, ties in expansion order — deterministic given the
+	// same model state.
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].est > pending[j].est })
+	primary := -1
+	for i, p := range pending {
+		if fits(c.tasks[p.idx].cfg, req.Capacity) {
+			primary = i
+			break
+		}
 	}
-	if retry < 10*time.Millisecond {
-		retry = 10 * time.Millisecond
+	fallback := primary < 0
+	if fallback {
+		// Nothing fits the advertised capacity: grant the cheapest pending
+		// trial (last in descending order) so an undersized worker makes
+		// slow progress instead of the sweep waiting for a big worker that
+		// may never come.
+		primary = len(pending) - 1
+		c.logf("fleet: no pending trial fits capacity %d from %s; granting cheapest",
+			req.Capacity, req.Worker)
 	}
-	return LeaseResponse{Status: StatusWait, RetryMs: int(retry.Milliseconds())}, nil
+	resp := LeaseResponse{Status: StatusLease}
+	g, err := c.grantLocked(pending[primary].idx, req.Worker)
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	resp.LeaseID, resp.Key, resp.Config, resp.ExpiresUnixNano = g.LeaseID, g.Key, g.Config, g.ExpiresUnixNano
+	if req.MaxTrials > 1 && !fallback {
+		extra := req.MaxTrials - 1
+		if extra > maxBatchGrants {
+			extra = maxBatchGrants
+		}
+		// Fill the batch cheapest-first (from the tail of the descending
+		// order): batching exists to amortize round-trips over cheap
+		// trials, while expensive ones keep getting dedicated leases that
+		// renew independently.
+		for i := len(pending) - 1; i > primary && extra > 0; i-- {
+			if !fits(c.tasks[pending[i].idx].cfg, req.Capacity) {
+				continue
+			}
+			g, err := c.grantLocked(pending[i].idx, req.Worker)
+			if err != nil {
+				return LeaseResponse{}, err
+			}
+			resp.Extra = append(resp.Extra, g)
+			extra--
+		}
+	}
+	return resp, nil
 }
 
 // Renew extends a held lease. A false OK means the lease already expired
@@ -255,6 +370,24 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if err != nil {
 		return CompleteResponse{}, fmt.Errorf("fleet: persisting completion: %w", err)
 	}
+	// Feed the completion into the cost model and the throughput ledger
+	// before marking done, so the ETA's remaining-cost sum and completed-
+	// cost accumulator never both count the same trial.
+	c.completedCost += c.model.Estimate(rec.Config)
+	elapsed := rec.ElapsedNanos
+	if elapsed == 0 {
+		elapsed = rec.Trial.ElapsedNanos
+	}
+	if elapsed > 0 {
+		c.model.Observe(rec.Config, elapsed)
+	}
+	ws := c.workers[req.Worker]
+	if ws == nil {
+		ws = &workerStats{firstSeen: c.now()}
+		c.workers[req.Worker] = ws
+	}
+	ws.done++
+	ws.lastDone = c.now()
 	for _, i := range idxs {
 		t := c.tasks[i]
 		if t.state == taskDone {
@@ -291,17 +424,59 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 // Done returns a channel closed when every trial is complete.
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 
-// Status snapshots the observable state.
+// Granted reports the cumulative number of leases granted over the
+// coordinator's lifetime (primary and batch alike). `epochgrid -serve`
+// polls it to detect that no worker ever showed up and fall back to
+// draining locally.
+func (c *Coordinator) Granted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.granted
+}
+
+// Status snapshots the observable state, including the cost-model ETA:
+// remaining estimated cost over observed completion throughput. Both sides
+// of that division are model-unit sums, so the units cancel and the ratio
+// is wall seconds — no calibration needed beyond what the model learned.
 func (c *Coordinator) Status() StatusResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return StatusResponse{
+	resp := StatusResponse{
 		Total: len(c.tasks), Done: c.doneCount,
 		Executed: c.executed, Cached: c.cached, Quarantined: c.quarantined,
 		Leased:     len(c.leases),
 		Duplicates: c.duplicates, Reissued: c.reissued,
 		Complete: c.doneCount == len(c.tasks),
 	}
+	if !resp.Complete && c.completedCost > 0 {
+		wall := c.now().Sub(c.startedAt)
+		if wall > 0 {
+			var remaining float64
+			for _, t := range c.tasks {
+				if t.state != taskDone {
+					remaining += c.model.Estimate(t.cfg)
+				}
+			}
+			throughput := c.completedCost / wall.Seconds() // cost units per wall second
+			if throughput > 0 {
+				resp.ETASeconds = remaining / throughput
+			}
+		}
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		w := WorkerStatus{Name: name, Done: ws.done}
+		if span := ws.lastDone.Sub(ws.firstSeen); span > 0 && ws.done > 0 {
+			w.RatePerSec = float64(ws.done) / span.Seconds()
+		}
+		resp.Workers = append(resp.Workers, w)
+	}
+	return resp
 }
 
 // Summaries assembles per-config summaries from the store, in input-config
@@ -344,7 +519,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		resp, err := c.Lease(req.Worker)
+		resp, err := c.Lease(req)
 		reply(w, resp, err)
 	})
 	mux.HandleFunc("/v1/renew", func(w http.ResponseWriter, r *http.Request) {

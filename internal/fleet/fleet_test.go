@@ -157,16 +157,16 @@ func TestLeaseExpiryReissuesTrial(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l1, err := coord.Lease("doomed")
+	l1, err := coord.Lease(LeaseRequest{Worker: "doomed"})
 	if err != nil || l1.Status != StatusLease {
 		t.Fatalf("first lease: %+v, %v", l1, err)
 	}
-	if wait, _ := coord.Lease("second"); wait.Status != StatusWait {
+	if wait, _ := coord.Lease(LeaseRequest{Worker: "second"}); wait.Status != StatusWait {
 		t.Fatalf("second worker should wait while the trial is leased: %+v", wait)
 	}
 
 	now = now.Add(2 * time.Second) // the doomed worker never renews
-	l2, err := coord.Lease("second")
+	l2, err := coord.Lease(LeaseRequest{Worker: "second"})
 	if err != nil || l2.Status != StatusLease {
 		t.Fatalf("post-expiry lease: %+v, %v", l2, err)
 	}
@@ -210,13 +210,13 @@ func TestRenewExtendsLease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, _ := coord.Lease("slow")
+	l, _ := coord.Lease(LeaseRequest{Worker: "slow"})
 	now = now.Add(800 * time.Millisecond)
 	if r := coord.Renew(RenewRequest{LeaseID: l.LeaseID, Worker: "slow"}); !r.OK {
 		t.Fatalf("renew of a live lease failed: %+v", r)
 	}
 	now = now.Add(800 * time.Millisecond) // 1.6s after grant, 0.8s after renew
-	if resp, _ := coord.Lease("other"); resp.Status != StatusWait {
+	if resp, _ := coord.Lease(LeaseRequest{Worker: "other"}); resp.Status != StatusWait {
 		t.Fatalf("renewed lease was lost: %+v", resp)
 	}
 	now = now.Add(2 * time.Second)
@@ -262,7 +262,7 @@ func TestCoordinatorResumesFromStore(t *testing.T) {
 	}
 	// Drive the sweep by hand: lease everything, complete everything.
 	for {
-		l, err := coord1.Lease("w1")
+		l, err := coord1.Lease(LeaseRequest{Worker: "w1"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,7 +308,7 @@ func TestCoordinatorResumesFromStore(t *testing.T) {
 	if !st.Complete || st.Cached != 2 || st.Executed != 0 {
 		t.Fatalf("resume must satisfy everything from the store: %+v", st)
 	}
-	if l, _ := coord2.Lease("w1"); l.Status != StatusDone {
+	if l, _ := coord2.Lease(LeaseRequest{Worker: "w1"}); l.Status != StatusDone {
 		t.Fatalf("resumed coordinator should answer done immediately: %+v", l)
 	}
 	select {
@@ -334,10 +334,10 @@ func TestCoordinatorResumesPartialSweep(t *testing.T) {
 	}
 	// Complete exactly one trial, then "crash" (abandon coord1 with a trial
 	// still leased — its claim is journaled but uncommitted).
-	l1, _ := coord1.Lease("w1")
+	l1, _ := coord1.Lease(LeaseRequest{Worker: "w1"})
 	coord1.Complete(CompleteRequest{LeaseID: l1.LeaseID, Worker: "w1", Key: l1.Key,
 		Record: results.NewRecord(l1.Config, fakeTrial(l1.Config))})
-	l2, _ := coord1.Lease("w1")
+	l2, _ := coord1.Lease(LeaseRequest{Worker: "w1"})
 	if l2.Status != StatusLease {
 		t.Fatalf("second lease: %+v", l2)
 	}
@@ -360,7 +360,7 @@ func TestCoordinatorResumesPartialSweep(t *testing.T) {
 	// entries, not commitments.
 	seen := map[string]bool{}
 	for {
-		l, err := coord2.Lease("w2")
+		l, err := coord2.Lease(LeaseRequest{Worker: "w2"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -401,7 +401,7 @@ func TestClientRetriesTransientServerErrors(t *testing.T) {
 	}
 
 	ft.Sever()
-	_, err = cl.Lease(context.Background(), "w")
+	_, err = cl.Lease(context.Background(), LeaseRequest{Worker: "w"})
 	if err == nil {
 		t.Fatal("lease through severed transport must fail")
 	}
@@ -409,7 +409,7 @@ func TestClientRetriesTransientServerErrors(t *testing.T) {
 		t.Fatalf("severed-transport failure should be an rpcError, got %T: %v", err, err)
 	}
 	ft.Heal()
-	if _, err := cl.Lease(context.Background(), "w"); err != nil {
+	if _, err := cl.Lease(context.Background(), LeaseRequest{Worker: "w"}); err != nil {
 		t.Fatalf("lease after heal: %v", err)
 	}
 }

@@ -49,11 +49,36 @@ const (
 	StatusDone = "done"
 )
 
-// LeaseRequest asks the coordinator for one trial.
+// LeaseRequest asks the coordinator for one or more trials.
 type LeaseRequest struct {
 	// Worker is the requesting worker's self-chosen name, journaled with
 	// the claim for audit.
 	Worker string `json:"worker"`
+	// Capacity is the worker's advertised thread capacity (typically its
+	// GOMAXPROCS). The coordinator grants the costliest pending trial whose
+	// Threads fit the capacity, so big trials land on big workers while
+	// small workers stay busy on small ones. Advisory, not a hard wall:
+	// <= 0 means unlimited, and when nothing fits the coordinator grants
+	// the cheapest pending trial anyway — an undersized worker runs a trial
+	// slowly rather than the sweep stalling forever.
+	Capacity int `json:"capacity,omitempty"`
+	// MaxTrials caps how many trials this response may carry (primary +
+	// Extra batch grants). <= 1 requests the classic single grant. Batch
+	// grants amortize RPC round-trips over cheap trials: the coordinator
+	// fills the batch with the cheapest fitting pending trials, each under
+	// its own journaled lease.
+	MaxTrials int `json:"max_trials,omitempty"`
+}
+
+// Grant is one extra trial granted in a batch lease. It carries the same
+// fields as a primary grant; the worker runs and Completes each grant
+// independently, so a crashed worker's whole batch expires and re-issues
+// like any other leases.
+type Grant struct {
+	LeaseID         string               `json:"lease_id"`
+	Key             string               `json:"key"`
+	Config          bench.WorkloadConfig `json:"config"`
+	ExpiresUnixNano int64                `json:"expires_unix_ns,omitempty"`
 }
 
 // LeaseResponse carries a granted lease (StatusLease) or a polling
@@ -75,6 +100,11 @@ type LeaseResponse struct {
 	ExpiresUnixNano int64 `json:"expires_unix_ns,omitempty"`
 	// RetryMs is the suggested poll delay for StatusWait.
 	RetryMs int `json:"retry_ms,omitempty"`
+	// Extra carries batch grants beyond the primary lease (at most
+	// MaxTrials-1, and never more than the coordinator's batch cap). The
+	// primary lease stays in the flat fields above, so a worker that
+	// ignores Extra behaves exactly as before.
+	Extra []Grant `json:"extra,omitempty"`
 }
 
 // RenewRequest extends a held lease.
@@ -131,4 +161,23 @@ type StatusResponse struct {
 	Duplicates, Reissued int
 	// Complete is true when every trial is done.
 	Complete bool
+	// ETASeconds is the cost-model estimate of remaining sweep wall time:
+	// the summed estimated cost of not-yet-done trials divided by the
+	// fleet's observed completion throughput. 0 means unknown (nothing
+	// completed yet, or the sweep is already done).
+	ETASeconds float64 `json:",omitempty"`
+	// Workers reports per-worker completion activity, sorted by name.
+	Workers []WorkerStatus `json:",omitempty"`
+}
+
+// WorkerStatus is one worker's completion record as the coordinator saw it.
+type WorkerStatus struct {
+	// Name is the worker's self-chosen name from its lease requests.
+	Name string
+	// Done counts completions accepted from this worker (duplicates
+	// excluded).
+	Done int
+	// RatePerSec is Done divided by the worker's observed active span
+	// (first lease to last completion); 0 until the span is measurable.
+	RatePerSec float64 `json:",omitempty"`
 }

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/results"
+)
+
+// costedCfgs builds a heterogeneous sweep whose static costs are strictly
+// ordered by threads × ops, deliberately expanded cheapest-first (the
+// adversarial order for FIFO granting).
+func costedCfgs() []bench.WorkloadConfig {
+	var cfgs []bench.WorkloadConfig
+	for i, shape := range []struct{ threads, ops int }{
+		{1, 500}, {2, 1000}, {4, 2000}, {8, 4000},
+	} {
+		c := bench.DefaultWorkload(shape.threads)
+		c.FixedOps = shape.ops
+		c.Duration = 0
+		c.KeyRange = 1 << 10
+		c.Seed = uint64(100 + i)
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// TestLeaseGrantsDescendingCost pins the coordinator's LPT face: an
+// unlimited-capacity worker leasing repeatedly receives trials in strictly
+// non-increasing estimated cost, regardless of expansion order.
+func TestLeaseGrantsDescendingCost(t *testing.T) {
+	coord, err := NewCoordinator(costedCfgs(), 1, CoordinatorConfig{Store: results.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := 0; i < 4; i++ {
+		l, err := coord.Lease(LeaseRequest{Worker: "big", Capacity: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Status != StatusLease {
+			t.Fatalf("lease %d: status %q, want lease", i, l.Status)
+		}
+		est := grid.StaticCost(l.Config)
+		if prev >= 0 && est > prev {
+			t.Fatalf("grant %d cost %.0f exceeds previous grant %.0f — not descending", i, est, prev)
+		}
+		prev = est
+	}
+	if l, _ := coord.Lease(LeaseRequest{Worker: "big"}); l.Status != StatusWait {
+		t.Fatalf("fifth lease status %q, want wait", l.Status)
+	}
+}
+
+// TestLeaseRespectsCapacity pins capacity-aware placement: a worker
+// advertising capacity 2 is granted the costliest trial whose Threads fit —
+// never the 4- or 8-thread ones while 1- and 2-thread trials are pending —
+// and when nothing fits, the cheapest pending trial is granted anyway
+// (capacity is advisory: a slow trial beats a stalled sweep).
+func TestLeaseRespectsCapacity(t *testing.T) {
+	coord, err := NewCoordinator(costedCfgs(), 1, CoordinatorConfig{Store: results.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := coord.Lease(LeaseRequest{Worker: "small", Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Config.Threads != 2 {
+		t.Fatalf("capacity-2 worker granted %d-thread trial, want the 2-thread one", l1.Config.Threads)
+	}
+	l2, _ := coord.Lease(LeaseRequest{Worker: "small", Capacity: 2})
+	if l2.Config.Threads != 1 {
+		t.Fatalf("second capacity-2 grant is %d threads, want 1", l2.Config.Threads)
+	}
+	// Only 4- and 8-thread trials remain: nothing fits capacity 2, so the
+	// fallback grants the cheapest pending (the 4-thread trial).
+	l3, _ := coord.Lease(LeaseRequest{Worker: "small", Capacity: 2})
+	if l3.Status != StatusLease || l3.Config.Threads != 4 {
+		t.Fatalf("fallback grant = %q/%d threads, want lease of the 4-thread trial",
+			l3.Status, l3.Config.Threads)
+	}
+}
+
+// TestBatchLeaseDedupeSafety pins batch grants: one RPC carries multiple
+// trials under distinct lease IDs and distinct keys, every claim is
+// journaled, and a duplicated completion of a batched trial dedupes exactly
+// like a primary one.
+func TestBatchLeaseDedupeSafety(t *testing.T) {
+	store := results.NewMemStore()
+	coord, err := NewCoordinator(costedCfgs(), 1, CoordinatorConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := coord.Lease(LeaseRequest{Worker: "batcher", Capacity: -1, MaxTrials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Extra) != 2 {
+		t.Fatalf("batch carried %d extras, want 2", len(l.Extra))
+	}
+	seenKeys := map[string]bool{l.Key: true}
+	seenLeases := map[string]bool{l.LeaseID: true}
+	grants := append([]Grant{{LeaseID: l.LeaseID, Key: l.Key, Config: l.Config}}, l.Extra...)
+	for _, g := range grants {
+		if seenKeys[g.Key] && g.Key != l.Key {
+			t.Fatalf("batch granted key %s twice", g.Key)
+		}
+		if seenLeases[g.LeaseID] && g.LeaseID != l.LeaseID {
+			t.Fatalf("batch reused lease id %s", g.LeaseID)
+		}
+		seenKeys[g.Key] = true
+		seenLeases[g.LeaseID] = true
+	}
+	// The primary is the costliest fitting trial; extras fill cheapest-first.
+	if grid.StaticCost(l.Config) < grid.StaticCost(l.Extra[0].Config) {
+		t.Fatalf("primary grant cheaper than batched extra")
+	}
+	// Every grant journaled its own claim.
+	claims := 0
+	for _, rec := range store.Journal() {
+		if rec.Kind == results.KindClaim {
+			claims++
+		}
+	}
+	if claims != 3 {
+		t.Fatalf("journaled %d claims, want 3", claims)
+	}
+	// Complete one batched grant twice: first lands, second dedupes.
+	g := l.Extra[0]
+	rec := results.NewRecord(g.Config, fakeTrial(g.Config))
+	r1, err := coord.Complete(CompleteRequest{LeaseID: g.LeaseID, Worker: "batcher", Key: g.Key, Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Accepted || r1.Duplicate {
+		t.Fatalf("first completion = %+v, want accepted non-duplicate", r1)
+	}
+	r2, err := coord.Complete(CompleteRequest{LeaseID: g.LeaseID, Worker: "batcher", Key: g.Key, Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Accepted || !r2.Duplicate {
+		t.Fatalf("repeat completion = %+v, want duplicate", r2)
+	}
+	if n := len(store.Get(g.Key)); n != 1 {
+		t.Fatalf("store holds %d records for the batched key, want 1", n)
+	}
+}
+
+// TestStatusETAAndWorkerRates pins the status surface: once completions
+// flow, the coordinator reports a cost-model ETA for the remainder and
+// per-worker completion rates under the injected clock.
+func TestStatusETAAndWorkerRates(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	coord, err := NewCoordinator(costedCfgs(), 1,
+		CoordinatorConfig{Store: results.NewMemStore(), Clock: clock, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.Status(); st.ETASeconds != 0 {
+		t.Fatalf("ETA before any completion = %v, want 0 (unknown)", st.ETASeconds)
+	}
+	// Two workers each complete one trial, 2 seconds apart, each trial
+	// having measured 2s of wall time.
+	for i, name := range []string{"wa", "wb"} {
+		l, err := coord.Lease(LeaseRequest{Worker: name, Capacity: -1})
+		if err != nil || l.Status != StatusLease {
+			t.Fatalf("lease %d: %v %v", i, l.Status, err)
+		}
+		now = now.Add(2 * time.Second)
+		tr := fakeTrial(l.Config)
+		tr.ElapsedNanos = int64(2 * time.Second)
+		rec := results.NewRecord(l.Config, tr)
+		if _, err := coord.Complete(CompleteRequest{
+			LeaseID: l.LeaseID, Worker: name, Key: l.Key, Record: rec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := coord.Status()
+	if st.Done != 2 || st.Complete {
+		t.Fatalf("status = %+v, want 2 done incomplete", st)
+	}
+	if st.ETASeconds <= 0 {
+		t.Fatalf("ETA after completions = %v, want > 0", st.ETASeconds)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("status names %d workers, want 2", len(st.Workers))
+	}
+	for _, w := range st.Workers {
+		if w.Done != 1 {
+			t.Fatalf("worker %s done=%d, want 1", w.Name, w.Done)
+		}
+		// wa's span: leased at t, completed at t+2s → 0.5/s. wb likewise.
+		if w.RatePerSec <= 0 {
+			t.Fatalf("worker %s rate=%v, want > 0", w.Name, w.RatePerSec)
+		}
+	}
+	if st.Workers[0].Name >= st.Workers[1].Name {
+		t.Fatalf("workers not sorted by name: %v", st.Workers)
+	}
+}
+
+// TestBatchedWorkerDrains runs a real worker with LeaseBatch over HTTP and
+// checks the queue-then-complete path converges with zero duplicates.
+func TestBatchedWorkerDrains(t *testing.T) {
+	store := results.NewMemStore()
+	cfgs := tinyCfgs(3)
+	coord, err := NewCoordinator(cfgs, 2, CoordinatorConfig{Store: store, LeaseTTL: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startFleet(t, coord)
+	w := newWorker(t, srv.URL, "batched", 7)
+	w.LeaseBatch = 4
+	w.Capacity = -1
+	stats, err := w.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 6 {
+		t.Fatalf("executed %d, want 6", stats.Executed)
+	}
+	st := coord.Status()
+	if !st.Complete || st.Duplicates != 0 {
+		t.Fatalf("batched drain did not converge cleanly: %+v", st)
+	}
+	for _, k := range store.Keys() {
+		if n := len(store.Get(k)); n != 1 {
+			t.Fatalf("key %s has %d records, want 1", k, n)
+		}
+	}
+}

@@ -142,10 +142,12 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// Lease asks for one trial.
-func (c *Client) Lease(ctx context.Context, worker string) (LeaseResponse, error) {
+// Lease asks for one or more trials (req.MaxTrials > 1 requests a batch;
+// req.Capacity advertises the worker's thread capacity for cost-aware
+// placement).
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
 	var resp LeaseResponse
-	err := c.do(ctx, "/v1/lease", LeaseRequest{Worker: worker}, &resp)
+	err := c.do(ctx, "/v1/lease", req, &resp)
 	return resp, err
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,6 +61,15 @@ type Worker struct {
 	// RenewEvery is the lease-renewal period while a trial runs; <= 0
 	// derives it from the lease expiry (a third of the remaining TTL).
 	RenewEvery time.Duration
+	// Capacity is the thread capacity this worker advertises in lease
+	// requests, steering cost-aware placement: the coordinator grants it
+	// the costliest trial whose Threads fit. 0 means GOMAXPROCS; negative
+	// means unlimited (accept anything).
+	Capacity int
+	// LeaseBatch, when > 1, asks the coordinator for up to LeaseBatch
+	// trials per lease RPC; extra grants queue locally and are run before
+	// the next round-trip. Amortizes lease latency over cheap trials.
+	LeaseBatch int
 	// Logf, when set, receives one line per worker event.
 	Logf func(format string, args ...any)
 
@@ -68,6 +78,7 @@ type Worker struct {
 	degraded bool
 
 	lease    LeaseResponse // current lease (source state between Next and Complete)
+	queued   []Grant       // batch grants not yet started, run FIFO before the next lease RPC
 	renewCh  chan struct{} // closes to stop the renewal loop
 	doneHint bool          // a completion response said the sweep is over
 }
@@ -128,11 +139,33 @@ func (s *workerSource) Next(ctx context.Context) (bench.WorkloadConfig, bool, er
 			// without another round trip (the coordinator may be gone by now).
 			return bench.WorkloadConfig{}, false, nil
 		}
+		if len(w.queued) > 0 {
+			// Run down the local batch queue before another lease RPC. A
+			// queued grant's lease may be old; that is survivable — renewal
+			// keeps it alive from here, and even a server-side expiry only
+			// costs a duplicate the dedupe absorbs.
+			g := w.queued[0]
+			w.queued = w.queued[1:]
+			w.lease = LeaseResponse{
+				Status: StatusLease, LeaseID: g.LeaseID, Key: g.Key,
+				Config: g.Config, ExpiresUnixNano: g.ExpiresUnixNano,
+			}
+			w.startRenewal(ctx)
+			w.logf("fleet-worker %s: dequeued batched %s (%s)", w.name(),
+				results.Label(g.Config), short(g.Key))
+			return g.Config, true, nil
+		}
 		if w.replaySpool(ctx) {
 			// Spool fully drained (or empty): the link is healthy.
 			w.healed(reconnect)
 		}
-		resp, err := w.Client.Lease(ctx, w.name())
+		capacity := w.Capacity
+		if capacity == 0 {
+			capacity = runtime.GOMAXPROCS(0)
+		}
+		resp, err := w.Client.Lease(ctx, LeaseRequest{
+			Worker: w.name(), Capacity: capacity, MaxTrials: w.LeaseBatch,
+		})
 		if err != nil {
 			if ctx.Err() != nil {
 				return bench.WorkloadConfig{}, false, ctx.Err()
@@ -167,9 +200,10 @@ func (s *workerSource) Next(ctx context.Context) (bench.WorkloadConfig, bool, er
 			continue
 		case StatusLease:
 			w.lease = resp
+			w.queued = append(w.queued, resp.Extra...)
 			w.startRenewal(ctx)
-			w.logf("fleet-worker %s: leased %s (%s)", w.name(),
-				results.Label(resp.Config), short(resp.Key))
+			w.logf("fleet-worker %s: leased %s (%s), %d batched", w.name(),
+				results.Label(resp.Config), short(resp.Key), len(resp.Extra))
 			return resp.Config, true, nil
 		default:
 			return bench.WorkloadConfig{}, false, fmt.Errorf("fleet: unknown lease status %q", resp.Status)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +64,27 @@ func (w *weighted) release(n int) {
 	w.cond.Broadcast()
 }
 
+// available reports the instantaneous free-token count. Advisory only: the
+// value can change before the caller acts on it, so it steers backfill
+// choices (would this trial fit right now?) while the blocking acquire
+// remains the correctness point.
+func (w *weighted) available() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.free
+}
+
+// Runner.Schedule values. The zero value selects cost-ordered dispatch
+// (when Parallel > 1), so sweeps get LPT scheduling without opting in.
+const (
+	// ScheduleCost dispatches pending trials in descending estimated cost
+	// with budget-aware backfill (the default for Parallel > 1).
+	ScheduleCost = "cost"
+	// ScheduleFIFO dispatches in raw expansion order, the pre-scheduler
+	// behavior — the control arm of the makespan benchmark.
+	ScheduleFIFO = "fifo"
+)
+
 // Runner executes expanded configuration batches. Completed trials are
 // looked up in — and appended to — Store (when set), so a re-run of the
 // same grid against the same store executes nothing, and an interrupted
@@ -114,6 +136,19 @@ type Runner struct {
 	// carry its own. Plans change trial keys (a faulted trial is a different
 	// experiment), so the default is applied before any cache lookup.
 	Faults []bench.FaultSpec
+
+	// Cost is the cost model used by the Parallel > 1 scheduler. Nil builds
+	// a fresh model per Run, seeded from Store's measured elapsed times;
+	// supply one to share measurements across Runs.
+	Cost *CostModel
+	// Schedule selects the Parallel > 1 dispatch order: "" (default) is
+	// cost-ordered — pending trials dispatched in descending estimated cost
+	// (longest-processing-time-first) with budget-aware backfill, minimizing
+	// sweep makespan on heterogeneous grids; ScheduleFIFO pins raw expansion
+	// order. The Parallel <= 1 serial path always runs in strict expansion
+	// order regardless of Schedule — that ordering is the bit-compatibility
+	// contract the golden baselines pin.
+	Schedule string
 
 	mu          sync.Mutex
 	executed    int
@@ -322,65 +357,53 @@ func (r *Runner) RunContext(ctx context.Context, cfgs []bench.WorkloadConfig, tr
 		}
 		mu.Unlock()
 	}
-	for _, t := range tasks {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop || ctx.Err() != nil {
-			break
+	// model feeds measured elapsed times back into cost estimates. Only the
+	// cost-ordered dispatcher reads it, so the serial/FIFO paths skip the
+	// store scan NewCostModel does.
+	var model *CostModel
+	// fromCache resolves t against the store, recording the result and
+	// reporting whether the trial is satisfied. Hits cost no slot, no
+	// tokens, and no goroutine. A cached quarantine record is a hit too: a
+	// resumed sweep skips the key instead of re-wedging on it.
+	fromCache := func(t TrialTask) bool {
+		if r.Store == nil || t.Cfg.Record {
+			return false
 		}
-		// Cache lookup happens in the dispatcher, so hits cost no slot, no
-		// tokens, and no goroutine. A cached quarantine record is a hit too:
-		// a resumed sweep skips the key instead of re-wedging on it.
-		if r.Store != nil && !t.Cfg.Record {
-			if recs := r.Store.Get(results.KeyOf(t.Cfg)); len(recs) > 0 {
-				if recs[0].Quarantined {
-					finish(t, true, fmt.Errorf("grid: %s: quarantined: %s",
-						results.Label(t.Cfg), recs[0].Error), 0)
-					continue
-				}
-				perCfg[t.CfgIdx][t.TrialIdx] = recs[0].Trial
-				okCfg[t.CfgIdx][t.TrialIdx] = true
-				finish(t, true, nil, 0)
-				continue
-			}
+		recs := r.Store.Get(results.KeyOf(t.Cfg))
+		if len(recs) == 0 {
+			return false
 		}
-		slots <- struct{}{}
-		w := cost(t.Cfg)
-		tokens.acquire(w)
-		wg.Add(1)
-		go func(t TrialTask, w int) {
-			defer wg.Done()
-			defer func() {
-				tokens.release(w)
-				<-slots
-			}()
-			// Bounded retry: trial failures (watchdog aborts, panics) are
-			// retried with jittered doubling backoff, then quarantined — the
-			// sweep never stops for one bad configuration. A canceled context
-			// aborts the backoff mid-wait; the interrupted trial is not
-			// quarantined (its failure was never final).
-			tr, n, terr := r.executeTrial(ctx, t.Cfg)
-			if terr != nil {
-				if ctx.Err() != nil && terr == ctx.Err() {
-					return
-				}
-				if r.Store != nil && !t.Cfg.Record {
-					rec := results.NewQuarantine(t.Cfg, tr, terr)
-					if err := r.Store.Append(rec); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), err)
-						}
-						mu.Unlock()
-						return
-					}
-				}
-				finish(t, false, fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), terr), n)
+		if recs[0].Quarantined {
+			finish(t, true, fmt.Errorf("grid: %s: quarantined: %s",
+				results.Label(t.Cfg), recs[0].Error), 0)
+			return true
+		}
+		perCfg[t.CfgIdx][t.TrialIdx] = recs[0].Trial
+		okCfg[t.CfgIdx][t.TrialIdx] = true
+		finish(t, true, nil, 0)
+		return true
+	}
+	// execute is the per-trial goroutine body, shared by both dispatch
+	// orders; the caller holds a slot and w tokens, which it releases.
+	execute := func(t TrialTask, w int) {
+		defer wg.Done()
+		defer func() {
+			tokens.release(w)
+			<-slots
+		}()
+		// Bounded retry: trial failures (watchdog aborts, panics) are
+		// retried with jittered doubling backoff, then quarantined — the
+		// sweep never stops for one bad configuration. A canceled context
+		// aborts the backoff mid-wait; the interrupted trial is not
+		// quarantined (its failure was never final).
+		tr, n, terr := r.executeTrial(ctx, t.Cfg)
+		if terr != nil {
+			if ctx.Err() != nil && terr == ctx.Err() {
 				return
 			}
 			if r.Store != nil && !t.Cfg.Record {
-				if err := r.Store.Append(results.NewRecord(t.Cfg, tr)); err != nil {
+				rec := results.NewQuarantine(t.Cfg, tr, terr)
+				if err := r.Store.Append(rec); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), err)
@@ -389,10 +412,57 @@ func (r *Runner) RunContext(ctx context.Context, cfgs []bench.WorkloadConfig, tr
 					return
 				}
 			}
-			perCfg[t.CfgIdx][t.TrialIdx] = tr
-			okCfg[t.CfgIdx][t.TrialIdx] = true
-			finish(t, false, nil, n)
-		}(t, w)
+			finish(t, false, fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), terr), n)
+			return
+		}
+		if model != nil {
+			model.Observe(t.Cfg, tr.ElapsedNanos)
+		}
+		if r.Store != nil && !t.Cfg.Record {
+			if err := r.Store.Append(results.NewRecord(t.Cfg, tr)); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("grid: %s: %w", results.Label(t.Cfg), err)
+				}
+				mu.Unlock()
+				return
+			}
+		}
+		perCfg[t.CfgIdx][t.TrialIdx] = tr
+		okCfg[t.CfgIdx][t.TrialIdx] = true
+		finish(t, false, nil, n)
+	}
+	stopped := func() bool {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		return stop || ctx.Err() != nil
+	}
+
+	if parallel > 1 && r.Schedule != ScheduleFIFO {
+		model = r.Cost
+		if model == nil {
+			model = NewCostModel(r.Store)
+		}
+		r.runCostOrdered(tasks, model, cost, fromCache, execute, stopped, slots, tokens, &wg)
+	} else {
+		// Expansion-order dispatch: the serial (Parallel <= 1) contract and
+		// the ScheduleFIFO control arm. With Parallel <= 1 this runs trials
+		// strictly in expansion order, bit-compatible with every release
+		// since the runner existed — golden baselines pin it.
+		for _, t := range tasks {
+			if stopped() {
+				break
+			}
+			if fromCache(t) {
+				continue
+			}
+			slots <- struct{}{}
+			w := cost(t.Cfg)
+			tokens.acquire(w)
+			wg.Add(1)
+			go execute(t, w)
+		}
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -426,6 +496,68 @@ func (r *Runner) RunContext(ctx context.Context, cfgs []bench.WorkloadConfig, tr
 		out[i] = bench.SummarizeTrials(cfg, good)
 	}
 	return out, nil
+}
+
+// runCostOrdered is the Parallel > 1 dispatcher: longest-processing-time-
+// first with budget-aware backfill. Cache hits resolve up front in
+// expansion order (deterministic progress events, no scheduling cost);
+// the remaining trials dispatch in descending estimated cost, except that
+// when the token pool cannot fit the next big trial right now, the
+// costliest trial that does fit jumps the queue — slots stay busy instead
+// of idling behind a trial waiting for tokens. If nothing fits, the
+// dispatcher blocks on the head trial's tokens: that is plain LPT, and the
+// head is by construction the most expensive work left. Results are
+// index-addressed per task, so output order is unaffected by execution
+// order.
+func (r *Runner) runCostOrdered(
+	tasks []TrialTask, model *CostModel, weight func(bench.WorkloadConfig) int,
+	fromCache func(TrialTask) bool, execute func(TrialTask, int),
+	stopped func() bool, slots chan struct{}, tokens *weighted, wg *sync.WaitGroup,
+) {
+	type costed struct {
+		t   TrialTask
+		est float64
+	}
+	pending := make([]costed, 0, len(tasks))
+	for _, t := range tasks {
+		if stopped() {
+			return
+		}
+		if fromCache(t) {
+			continue
+		}
+		pending = append(pending, costed{t: t, est: model.Estimate(t.Cfg)})
+	}
+	// Stable sort: equal-cost trials keep expansion order, so scheduling is
+	// deterministic given the same model state.
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].est > pending[j].est })
+	for len(pending) > 0 {
+		if stopped() {
+			return
+		}
+		slots <- struct{}{}
+		// Backfill: prefer the head, but when its tokens aren't free right
+		// now, take the costliest pending trial that fits. available() is
+		// advisory — releases race with this read — so the blocking acquire
+		// below stays the correctness point; a stale read only costs a
+		// less-perfect backfill choice.
+		free := tokens.available()
+		pick := 0
+		if weight(pending[0].t.Cfg) > free {
+			for i := 1; i < len(pending); i++ {
+				if weight(pending[i].t.Cfg) <= free {
+					pick = i
+					break
+				}
+			}
+		}
+		t := pending[pick].t
+		pending = append(pending[:pick], pending[pick+1:]...)
+		w := weight(t.Cfg)
+		tokens.acquire(w)
+		wg.Add(1)
+		go execute(t, w)
+	}
 }
 
 // GridFunc adapts the runner to bench.Options.RunGrid, the injection point

@@ -36,6 +36,13 @@ type Record struct {
 	// quarantined record it is partial: identification fields plus whatever
 	// the aborted trial could still report.
 	Trial bench.TrialResult `json:"trial"`
+	// ElapsedNanos is the trial's measured total wall time, duplicated from
+	// Trial.ElapsedNanos for greppability (like Seed). Purely a measurement:
+	// keys hash only the config, so two records of one trial that differ in
+	// elapsed time share a TrialKey. The grid's cost model reads it to
+	// schedule repeat/resume sweeps by measured cost. Zero on records that
+	// predate the field.
+	ElapsedNanos int64 `json:"elapsed_ns,omitempty"`
 	// Quarantined marks a trial that failed permanently (watchdog abort
 	// after retries, panic, or error). Quarantine records are cache entries
 	// like any other — a resumed sweep skips the key instead of re-wedging —
@@ -88,12 +95,13 @@ func NewRecord(cfg bench.WorkloadConfig, tr bench.TrialResult) Record {
 	n := Normalize(cfg)
 	tr.Recorder = nil
 	return Record{
-		Key:    KeyOf(cfg),
-		Group:  GroupOf(cfg),
-		Schema: SchemaVersion,
-		Seed:   n.Seed,
-		Config: n,
-		Trial:  tr,
+		Key:          KeyOf(cfg),
+		Group:        GroupOf(cfg),
+		Schema:       SchemaVersion,
+		Seed:         n.Seed,
+		Config:       n,
+		Trial:        tr,
+		ElapsedNanos: tr.ElapsedNanos,
 	}
 }
 

@@ -140,6 +140,39 @@ lat_ratio="$(awk -v u="$lat_debra_stalled" -v b="$lat_hp_stalled" 'BEGIN { print
 printf 'latency: stalled p999 debra %sms (healthy %sms), hp %sms (healthy %sms), unbounded/bounded ratio %s\n' \
   "$lat_debra_stalled" "$lat_debra_healthy" "$lat_hp_stalled" "$lat_hp_healthy" "$lat_ratio"
 
+# Makespan comparison: the cost-aware sweep scheduler against raw
+# expansion-order dispatch on the seeded heterogeneous synthetic sweep
+# (TestMakespanSchedulerGain: 12 cheap trials expanded before one expensive
+# trial — FIFO's worst case). Trial work is deterministic sleep, so the
+# ratio measures scheduling alone. Gated below: >= 1.25x at parallel=4.
+mk_raw="$(go test -run 'TestMakespanSchedulerGain' -v ./internal/grid/)"
+printf '%s\n' "$mk_raw" | grep '^makespan:' || true
+
+read -r mk4_fifo mk4_cost mk4_ratio mk8_fifo mk8_cost mk8_ratio <<EOF2
+$(printf '%s\n' "$mk_raw" | awk '
+  /^makespan: parallel=4 / {
+    for (i = 2; i <= NF; i++) {
+      split($i, kv, "=")
+      if (kv[1] == "fifo_ms") f4 = kv[2]
+      if (kv[1] == "cost_ms") c4 = kv[2]
+      if (kv[1] == "ratio") r4 = kv[2]
+    }
+  }
+  /^makespan: parallel=8 / {
+    for (i = 2; i <= NF; i++) {
+      split($i, kv, "=")
+      if (kv[1] == "fifo_ms") f8 = kv[2]
+      if (kv[1] == "cost_ms") c8 = kv[2]
+      if (kv[1] == "ratio") r8 = kv[2]
+    }
+  }
+  END { print f4, c4, r4, f8, c8, r8 }')
+EOF2
+if [ -z "${mk8_ratio:-}" ]; then
+  echo "bench-json: makespan benchmark produced no numbers" >&2
+  exit 1
+fi
+
 # Recording-overhead comparison: recorded vs unrecorded end-to-end trials,
 # side by side. Three counts each; best-of scoring (see header comment).
 rec_raw="$(go test -run=NONE -bench='BenchmarkTrial(Unrecorded|Recorded|Paired)$' \
@@ -204,6 +237,8 @@ gomaxprocs="$(go run "$tmpdir/gomaxprocs.go")"
     "$debra_healthy" "$debra_faulted" "$debra_blowup" "$hp_healthy" "$hp_faulted" "$hp_blowup"
   printf '  "latency": {"arrival": "%s", "faults": "%s", "dur": "%s", "debra": {"healthy_p999_ms": %s, "stalled_p999_ms": %s}, "hp": {"healthy_p999_ms": %s, "stalled_p999_ms": %s}, "stalled_ratio": %s},\n' \
     "$lat_arrival" "$lat_faults" "$lat_dur" "$lat_debra_healthy" "$lat_debra_stalled" "$lat_hp_healthy" "$lat_hp_stalled" "$lat_ratio"
+  printf '  "makespan": {"gate": 1.25, "parallel4": {"fifo_ms": %s, "cost_ms": %s, "ratio": %s}, "parallel8": {"fifo_ms": %s, "cost_ms": %s, "ratio": %s}},\n' \
+    "$mk4_fifo" "$mk4_cost" "$mk4_ratio" "$mk8_fifo" "$mk8_cost" "$mk8_ratio"
   printf '  "benchmarks": '
   cat "$tmpdir/benchmarks.json"
   printf ',\n  "grid": '
@@ -230,6 +265,15 @@ if ! awk -v u="$lat_debra_stalled" -v b="$lat_hp_stalled" \
   exit 1
 fi
 echo "latency gate passed (debra stalled p999 $lat_debra_stalled ms >= hp $lat_hp_stalled ms)"
+
+# Makespan gate: cost-ordered dispatch must beat expansion-order by >= 1.25x
+# on the heterogeneous sweep at parallel=4. The deterministic-sleep trial
+# bodies make this stable; the analytic ratio is ~1.5x, so 1.25 has margin.
+if ! awk -v r="$mk4_ratio" 'BEGIN { exit !(r + 0 >= 1.25) }'; then
+  echo "bench-json: makespan gate FAILED (need cost/fifo ratio >= 1.25 at parallel=4; got $mk4_ratio)" >&2
+  exit 1
+fi
+echo "makespan gate passed (parallel=4 ratio $mk4_ratio >= 1.25)"
 
 # Regenerate the cross-PR trajectory table whenever a new artifact lands.
 scripts/bench-history.sh

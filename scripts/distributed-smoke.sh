@@ -8,11 +8,18 @@
 #   2. the store holds exactly one record per TrialKey (no duplicate
 #      completions survive, even with a killed worker's lease re-issued);
 #   3. a coordinator restarted over the same store executes 0 trials
-#      (resume is complete: everything is served from the journal).
+#      (resume is complete: everything is served from the journal);
+#   4. a heterogeneous fleet (capacity-2 + capacity-16 workers) converges
+#      with zero duplicate keys and the high-capacity worker's first claim
+#      is the costliest (8-thread) trial — capacity-aware LPT granting,
+#      observed from outside through the claim journal;
+#   5. a coordinator with no workers at all drains the sweep itself after
+#      the -local-grace window (degraded-local mode).
 #
 # Usage: scripts/distributed-smoke.sh [workdir]
 # Env:   OPS=4000   per-thread op budget of each trial (keep trials long
 #                   enough that the SIGKILL lands mid-sweep)
+#        RACE=1     build the binary with -race (slower; CI runs this once)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,15 +29,21 @@ port=7741
 store="$work/sweep.jsonl"
 mkdir -p "$work"
 
+build_flags=()
+if [ "${RACE:-0}" = "1" ]; then
+  build_flags+=(-race)
+  echo "distributed-smoke: building with -race"
+fi
+
 echo "distributed-smoke: workdir $work"
-go build -o "$work/epochgrid" ./cmd/epochgrid
+go build "${build_flags[@]}" -o "$work/epochgrid" ./cmd/epochgrid
 
 # Sweep axes: 2 reclaimers x 2 thread counts x 3 trials = 12 trials. A short
 # lease TTL keeps the killed worker's trial from stalling the sweep.
 sweep_flags=(-reclaimers debra,hp -threads 2,4 -trials 3 -ops "$ops" -keyrange 4096)
 
 "$work/epochgrid" -serve "127.0.0.1:$port" -store "$store" "${sweep_flags[@]}" \
-  -lease-ttl 5s -format json -out "$work/sweep.json" 2>"$work/serve.log" &
+  -lease-ttl 5s -local-grace 0 -format json -out "$work/sweep.json" 2>"$work/serve.log" &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
 
@@ -115,7 +128,7 @@ echo "distributed-smoke: dedupe gate passed (12 distinct keys, 0 duplicates)"
 # Gate 3: a restarted coordinator resumes with zero executions — one idle
 # worker attached so the run exercises the lease path too.
 "$work/epochgrid" -serve "127.0.0.1:$port" -store "$store" "${sweep_flags[@]}" \
-  -format json -out "$work/resume.json" 2>"$work/resume.log" &
+  -local-grace 0 -format json -out "$work/resume.json" 2>"$work/resume.log" &
 resume_pid=$!
 "$work/epochgrid" -worker "http://127.0.0.1:$port" -worker-name resumer 2>"$work/resumer.log" || true
 wait "$resume_pid" || { echo "distributed-smoke: resume coordinator failed" >&2; cat "$work/resume.log" >&2; exit 1; }
@@ -125,4 +138,102 @@ if ! grep -q 'executed=0 cached=12' "$work/resume.log"; then
   exit 1
 fi
 echo "distributed-smoke: resume gate passed (restart executed 0 of 12)"
+
+# --- Phase 4: heterogeneous fleet ------------------------------------------
+# A capacity-2 worker and a capacity-16 worker share a sweep mixing 1- and
+# 8-thread trials. Capacity-aware LPT granting means the high-capacity
+# worker's first claim must be an 8-thread trial (the costliest pending) and
+# the low-capacity worker's first claim must be a 1-thread one (the costliest
+# that fits). Later fallback grants (capacity is advisory) are allowed — the
+# first claims are the deterministic part of the contract.
+het_port=7742
+het_store="$work/hetero.jsonl"
+het_flags=(-reclaimers debra -threads 1,8 -trials 3 -ops "$ops" -keyrange 4096)
+
+"$work/epochgrid" -serve "127.0.0.1:$het_port" -store "$het_store" "${het_flags[@]}" \
+  -lease-ttl 5s -local-grace 0 -format json -out "$work/hetero.json" 2>"$work/hetero-serve.log" &
+het_pid=$!
+trap 'kill "$het_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  if curl -s -o /dev/null "http://127.0.0.1:$het_port/v1/status"; then break; fi
+  sleep 0.1
+done
+
+"$work/epochgrid" -worker "http://127.0.0.1:$het_port" -worker-name hicap \
+  -capacity 16 2>"$work/hicap.log" &
+hicap_pid=$!
+"$work/epochgrid" -worker "http://127.0.0.1:$het_port" -worker-name locap \
+  -capacity 2 2>"$work/locap.log" &
+locap_pid=$!
+
+wait "$hicap_pid" || { echo "distributed-smoke: hicap worker failed" >&2; cat "$work/hicap.log" >&2; exit 1; }
+wait "$locap_pid" || { echo "distributed-smoke: locap worker failed" >&2; cat "$work/locap.log" >&2; exit 1; }
+wait "$het_pid" || { echo "distributed-smoke: hetero coordinator failed" >&2; cat "$work/hetero-serve.log" >&2; exit 1; }
+trap - EXIT
+grep '^grid:' "$work/hetero-serve.log"
+
+# Convergence: 1 reclaimer x 2 thread counts x 3 trials = 6, all executed.
+if ! grep -qE '^grid: .*trials=6 .*executed=6' "$work/hetero-serve.log"; then
+  echo "distributed-smoke: FAIL hetero convergence" >&2
+  cat "$work/hetero-serve.log" >&2
+  exit 1
+fi
+
+# Dedupe + capacity-aware first claims, read from the journaled store.
+python3 - "$het_store" <<'EOF'
+import json, sys
+from collections import Counter
+
+key_threads = {}
+first_claim = {}
+keys = Counter()
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("kind") == "claim":
+            first_claim.setdefault(rec["worker"], rec["key"])
+            continue
+        if rec.get("kind"):
+            continue
+        keys[rec["key"]] += 1
+        key_threads[rec["key"]] = rec["config"]["Threads"]
+
+dups = {k: n for k, n in keys.items() if n > 1}
+if dups or len(keys) != 6:
+    print(f"hetero store: {len(keys)} distinct keys, dups={dups}", file=sys.stderr)
+    sys.exit(1)
+for worker, want in (("hicap", 8), ("locap", 1)):
+    key = first_claim.get(worker)
+    got = key_threads.get(key)
+    if got != want:
+        print(f"hetero: {worker}'s first claim is a {got}-thread trial, want {want}",
+              file=sys.stderr)
+        sys.exit(1)
+print("hetero claims: hicap first claimed 8 threads, locap first claimed 1 thread")
+EOF
+echo "distributed-smoke: heterogeneous gate passed (6 keys, 0 dups, capacity-aware first claims)"
+
+# --- Phase 5: degraded-local drain -----------------------------------------
+# A coordinator with no workers must not hang: after -local-grace with zero
+# leases granted it drains the sweep in-process through the same lease
+# machinery, and the run converges.
+local_store="$work/local.jsonl"
+"$work/epochgrid" -serve "127.0.0.1:7743" -store "$local_store" \
+  -reclaimers debra -threads 2 -trials 2 -ops "$ops" -keyrange 4096 \
+  -local-grace 1s -format json -out "$work/local.json" 2>"$work/local-serve.log"
+grep '^grid:' "$work/local-serve.log"
+if ! grep -q 'draining locally' "$work/local-serve.log"; then
+  echo "distributed-smoke: FAIL degraded-local: no local drain logged" >&2
+  cat "$work/local-serve.log" >&2
+  exit 1
+fi
+if ! grep -qE '^grid: .*trials=2 .*executed=2' "$work/local-serve.log"; then
+  echo "distributed-smoke: FAIL degraded-local convergence" >&2
+  cat "$work/local-serve.log" >&2
+  exit 1
+fi
+echo "distributed-smoke: degraded-local gate passed (workerless sweep drained in-process)"
 echo "distributed-smoke: all gates passed"
